@@ -1,0 +1,36 @@
+(* Benchmark harness: regenerates every figure of the paper (FIG1-FIG4),
+   the supplementary validation tables (T1-T3), the alpha-cap ablation, and
+   Bechamel microbenchmarks. `dune exec bench/main.exe` prints everything;
+   pass experiment names (fig1 fig3 t2 perf ...) to run a subset. *)
+
+let registry =
+  [
+    ("fig1", Experiments.fig1);
+    ("fig2", Experiments.fig2);
+    ("fig3", Experiments.fig3);
+    ("fig4", Experiments.fig4);
+    ("t1", Experiments.t1);
+    ("t2", Experiments.t2);
+    ("t3", Experiments.t3);
+    ("t4", Experiments.t4);
+    ("t5", Experiments.t5);
+    ("ablation", Experiments.ablation_alpha_cap);
+    ("perf", Perf.run);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+    Experiments.run_all ();
+    Perf.run ()
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt (String.lowercase_ascii name) registry with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" name
+            (String.concat " " (List.map fst registry));
+          exit 1)
+      names

@@ -1,0 +1,99 @@
+(* Bechamel microbenchmarks: algorithm and data-structure throughput. *)
+
+open Bechamel
+open Resa_core
+open Resa_gen
+
+let workload n =
+  let rng = Prng.create ~seed:1234 in
+  Random_inst.cluster_workload rng ~m:128 ~n ~max_runtime:100
+
+let reserved_workload n =
+  let rng = Prng.create ~seed:1235 in
+  Random_inst.alpha_restricted rng ~m:128 ~n ~alpha:0.5 ~pmax:100 ~n_reservations:(n / 5) ()
+
+let algorithm_tests =
+  let make_algo name f =
+    List.map
+      (fun n ->
+        let inst = reserved_workload n in
+        Test.make ~name:(Printf.sprintf "%s/n=%d" name n) (Staged.stage (fun () -> f inst)))
+      [ 50; 200 ]
+  in
+  make_algo "lsrc" (fun i -> ignore (Resa_algos.Lsrc.run i))
+  @ make_algo "fcfs" (fun i -> ignore (Resa_algos.Fcfs.run i))
+  @ make_algo "conservative" (fun i -> ignore (Resa_algos.Backfill.conservative i))
+  @ make_algo "easy" (fun i -> ignore (Resa_algos.Backfill.easy i))
+  @ make_algo "shelf-ffdh" (fun i -> ignore (Resa_algos.Shelf.run Resa_algos.Shelf.Ffdh i))
+
+let profile_tests =
+  let inst = workload 500 in
+  let sched = Resa_algos.Lsrc.run inst in
+  let usage = Schedule.usage inst sched in
+  [
+    Test.make ~name:"profile/usage-build/n=500"
+      (Staged.stage (fun () -> ignore (Schedule.usage inst sched)));
+    Test.make ~name:"profile/earliest-fit"
+      (Staged.stage (fun () -> ignore (Profile.earliest_fit usage ~from:0 ~dur:50 ~need:100)));
+    Test.make ~name:"profile/integral"
+      (Staged.stage (fun () -> ignore (Profile.integral_on usage ~lo:0 ~hi:10_000)));
+  ]
+
+let heap_tests =
+  [
+    Test.make ~name:"event-heap/push-pop-1k"
+      (Staged.stage (fun () ->
+           let h = Resa_sim.Event_heap.create () in
+           for i = 0 to 999 do
+             Resa_sim.Event_heap.push h ~time:((i * 7919) mod 1000) i
+           done;
+           while not (Resa_sim.Event_heap.is_empty h) do
+             ignore (Resa_sim.Event_heap.pop h)
+           done));
+  ]
+
+let simulator_tests =
+  let subs =
+    let inst = workload 200 in
+    let rng = Prng.create ~seed:7 in
+    let arr = Arrivals.poisson rng ~n:200 ~mean_gap:5.0 in
+    List.init 200 (fun i -> Resa_sim.Simulator.{ job = Instance.job inst i; submit = arr.(i) })
+  in
+  [
+    Test.make ~name:"simulator/easy/n=200"
+      (Staged.stage (fun () ->
+           ignore
+             (Resa_sim.Simulator.run ~policy:(Resa_sim.Policy.easy ()) ~m:128 subs)));
+  ]
+
+let all_tests = algorithm_tests @ profile_tests @ heap_tests @ simulator_tests
+
+let run () =
+  Printf.printf "\n=== PERF: Bechamel microbenchmarks (ns/run, OLS fit) ===\n";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~stabilize:false () in
+  let t = Resa_stats.Table.create ~headers:[ "benchmark"; "time/run"; "r^2" ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raw ->
+          let est = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+          let ns =
+            match Analyze.OLS.estimates est with
+            | Some [ v ] -> v
+            | _ -> Float.nan
+          in
+          let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square est) in
+          let pretty =
+            if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+            else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+            else Printf.sprintf "%.0f ns" ns
+          in
+          Resa_stats.Table.add_row t [ name; pretty; Printf.sprintf "%.3f" r2 ])
+        results)
+    all_tests;
+  print_string (Resa_stats.Table.render t)

@@ -1,0 +1,311 @@
+(* resa: command-line front end.
+
+   Subcommands:
+     generate   emit an instance file from one of the built-in families
+     solve      run a scheduling algorithm on an instance file
+     simulate   online simulation of an SWF trace under a chosen policy
+     trace      emit a synthetic Standard Workload Format trace
+     bounds     print the Figure 4 bound curves for a list of alphas
+     info       summarise an instance file (bounds, alpha interval, profile)
+
+   Experiments that regenerate the paper's figures live in the benchmark
+   harness: `dune exec bench/main.exe [fig1..fig4 t1..t5 ablation perf]`. *)
+
+open Cmdliner
+open Resa_core
+open Resa_algos
+
+(* ------------------------------------------------------------------ *)
+(* shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed (reproducible).")
+
+let read_instance path =
+  match if path = "-" then Instance_io.of_string (In_channel.input_all stdin) else Instance_io.read_file path with
+  | Ok inst -> inst
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 2
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let generate family k m len c n alpha pmax seed =
+  let rng = Prng.create ~seed in
+  let known_opt = ref None in
+  let inst =
+    match family with
+    | "prop2" ->
+      let inst, opt = Resa_gen.Adversarial.prop2 ~k in
+      known_opt := Some opt;
+      inst
+    | "graham" ->
+      let inst, opt = Resa_gen.Adversarial.graham_tight ~m in
+      known_opt := Some opt;
+      inst
+    | "fcfs-bad" ->
+      let inst, opt = Resa_gen.Adversarial.fcfs_bad ~m ~len in
+      known_opt := Some opt;
+      inst
+    | "fig2" -> Resa_gen.Adversarial.figure2_example ()
+    | "packed" ->
+      let p = Resa_gen.Packed.generate rng ~m ~c ~target_jobs:n ~reservation_fraction:0.2 () in
+      known_opt := Some p.optimal;
+      p.instance
+    | "random" -> Resa_gen.Random_inst.alpha_restricted rng ~m ~n ~alpha ~pmax ()
+    | "workload" -> Resa_gen.Random_inst.cluster_workload rng ~m ~n ~max_runtime:pmax
+    | other ->
+      Printf.eprintf "unknown family %S\n" other;
+      exit 2
+  in
+  (match !known_opt with Some v -> Printf.printf "# optimal %d\n" v | None -> ());
+  print_string (Instance_io.to_string inst)
+
+let generate_cmd =
+  let family =
+    Arg.(
+      value
+      & pos 0 string "random"
+      & info [] ~docv:"FAMILY"
+          ~doc:"One of: prop2, graham, fcfs-bad, fig2, packed, random, workload.")
+  in
+  let k = Arg.(value & opt int 4 & info [ "k" ] ~doc:"Parameter k of the prop2 family.") in
+  let m = Arg.(value & opt int 8 & info [ "m" ] ~doc:"Number of machines.") in
+  let len = Arg.(value & opt int 20 & info [ "len" ] ~doc:"Narrow-job length (fcfs-bad).") in
+  let c = Arg.(value & opt int 20 & info [ "c" ] ~doc:"Target optimal makespan (packed).") in
+  let n = Arg.(value & opt int 12 & info [ "n" ] ~doc:"Number of jobs.") in
+  let alpha = Arg.(value & opt float 0.5 & info [ "alpha" ] ~doc:"Alpha restriction (random).") in
+  let pmax = Arg.(value & opt int 10 & info [ "pmax" ] ~doc:"Maximum job duration.") in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Emit an instance file from a built-in family")
+    Term.(const generate $ family $ k $ m $ len $ c $ n $ alpha $ pmax $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* solve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let priority_of_string s =
+  match String.lowercase_ascii s with
+  | "fifo" -> Priority.Fifo
+  | "lpt" -> Priority.Lpt
+  | "spt" -> Priority.Spt
+  | "widest" -> Priority.Widest_first
+  | "narrowest" -> Priority.Narrowest_first
+  | "area" -> Priority.Largest_area_first
+  | s when String.length s > 7 && String.sub s 0 7 = "random:" ->
+    Priority.Random (int_of_string (String.sub s 7 (String.length s - 7)))
+  | other ->
+    Printf.eprintf "unknown priority %S\n" other;
+    exit 2
+
+let solve path algo priority show_gantt width =
+  let inst = read_instance path in
+  let priority = priority_of_string priority in
+  let named name sched = (name, sched) in
+  let name, sched =
+    match String.lowercase_ascii algo with
+    | "lsrc" -> named "LSRC" (Lsrc.run ~priority inst)
+    | "fcfs" -> named "FCFS" (Fcfs.run ~priority inst)
+    | "easy" -> named "EASY" (Backfill.easy ~priority inst)
+    | "conservative" | "cons" -> named "CONS" (Backfill.conservative ~priority inst)
+    | "shelf-nfdh" -> named "NFDH" (Shelf.run Shelf.Nfdh inst)
+    | "shelf-ffdh" -> named "FFDH" (Shelf.run Shelf.Ffdh inst)
+    | "bnb" | "opt" ->
+      let r = Resa_exact.Bnb.solve inst in
+      named (if r.optimal then "OPT" else "B&B(budget hit)") r.schedule
+    | "dp" ->
+      let sched, _ = Resa_exact.Single_machine.solve inst in
+      named "OPT(dp)" sched
+    | "preemptive" ->
+      (* Preemptive optimum reported on its own (it has no Schedule.t). *)
+      let r = Preemptive.optimal inst in
+      Printf.printf "preemptive optimal makespan: %d\n" r.makespan;
+      Array.iteri
+        (fun i l ->
+          Printf.printf "  J%d:" i;
+          List.iter (fun (lo, hi) -> Printf.printf " [%d,%d)" lo hi) l;
+          print_newline ())
+        r.intervals;
+      exit 0
+    | other ->
+      Printf.eprintf "unknown algorithm %S\n" other;
+      exit 2
+  in
+  (match Schedule.validate inst sched with
+  | Ok () -> ()
+  | Error v ->
+    Printf.eprintf "internal error: infeasible schedule: %s\n"
+      (Format.asprintf "%a" Schedule.pp_violation v);
+    exit 3);
+  let cmax = Schedule.makespan inst sched in
+  let lb = Resa_exact.Lower_bounds.best inst in
+  Printf.printf "%s makespan: %d\n" name cmax;
+  Printf.printf "lower bound: %d (ratio <= %.3f)\n" lb
+    (if lb > 0 then float_of_int cmax /. float_of_int lb else Float.nan);
+  Printf.printf "utilization: %.3f\n" (Schedule.utilization inst sched);
+  if show_gantt then print_string (Gantt.render ~width inst sched)
+
+let solve_cmd =
+  let path = Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc:"Instance file ('-' for stdin).") in
+  let algo =
+    Arg.(
+      value & opt string "lsrc"
+      & info [ "algo"; "a" ]
+          ~doc:
+            "lsrc, fcfs, easy, conservative, shelf-nfdh, shelf-ffdh, bnb, dp (exact, m=1), \
+             or preemptive (exact, q=1 jobs).")
+  in
+  let priority =
+    Arg.(
+      value & opt string "fifo"
+      & info [ "priority"; "p" ] ~doc:"fifo, lpt, spt, widest, narrowest, area, random:SEED.")
+  in
+  let gantt = Arg.(value & flag & info [ "gantt"; "g" ] ~doc:"Render an ASCII Gantt chart.") in
+  let width = Arg.(value & opt int 72 & info [ "width" ] ~doc:"Gantt chart width.") in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Schedule an instance file and report the makespan")
+    Term.(const solve $ path $ algo $ priority $ gantt $ width)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate swf_path m n max_runtime mean_gap seed policy_name overestimate =
+  let rng = Prng.create ~seed in
+  let entries =
+    match swf_path with
+    | Some path -> (
+      match In_channel.with_open_text path In_channel.input_all |> Resa_swf.Swf.parse_string with
+      | Ok entries -> entries
+      | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2)
+    | None -> Resa_swf.Swf.generate ~overestimate rng ~m ~n ~max_runtime ~mean_gap
+  in
+  let triples = Resa_swf.Swf.to_estimated_workload entries ~m in
+  let subs = List.map (fun (job, submit, _) -> Resa_sim.Simulator.{ job; submit }) triples in
+  let estimates = Array.of_list (List.map (fun (_, _, e) -> e) triples) in
+  let policies =
+    match String.lowercase_ascii policy_name with
+    | "all" -> Resa_sim.Policy.all ()
+    | "fcfs" -> [ Resa_sim.Policy.fcfs () ]
+    | "easy" -> [ Resa_sim.Policy.easy () ]
+    | "cons" | "conservative" -> [ Resa_sim.Policy.conservative () ]
+    | "lsrc" | "aggressive" -> [ Resa_sim.Policy.aggressive () ]
+    | other ->
+      Printf.eprintf "unknown policy %S\n" other;
+      exit 2
+  in
+  print_endline Resa_sim.Metrics.header;
+  List.iter
+    (fun policy ->
+      let trace = Resa_sim.Simulator.run_estimated ~policy ~m ~estimates subs in
+      let s = Resa_sim.Metrics.summarize trace in
+      print_endline (Resa_sim.Metrics.row ~name:policy.Resa_sim.Policy.name s))
+    policies
+
+let simulate_cmd =
+  let swf =
+    Arg.(value & opt (some string) None & info [ "swf" ] ~docv:"FILE" ~doc:"SWF trace file (otherwise synthetic).")
+  in
+  let m = Arg.(value & opt int 64 & info [ "m" ] ~doc:"Number of machines.") in
+  let n = Arg.(value & opt int 200 & info [ "n" ] ~doc:"Synthetic trace length.") in
+  let max_runtime = Arg.(value & opt int 200 & info [ "max-runtime" ] ~doc:"Synthetic max runtime.") in
+  let mean_gap = Arg.(value & opt float 5.0 & info [ "mean-gap" ] ~doc:"Mean inter-arrival gap.") in
+  let policy = Arg.(value & opt string "all" & info [ "policy" ] ~doc:"all, fcfs, easy, cons or lsrc.") in
+  let overestimate =
+    Arg.(
+      value & opt float 1.0
+      & info [ "overestimate" ]
+          ~doc:"Mean walltime overestimation factor for synthetic traces (>= 1).")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Online simulation of a (synthetic or SWF) trace")
+    Term.(const simulate $ swf $ m $ n $ max_runtime $ mean_gap $ seed_arg $ policy $ overestimate)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace m n max_runtime mean_gap overestimate seed =
+  let rng = Prng.create ~seed in
+  let entries = Resa_swf.Swf.generate ~overestimate rng ~m ~n ~max_runtime ~mean_gap in
+  print_string
+    (Resa_swf.Swf.to_string
+       ~comments:
+         [
+           "synthetic SWF trace generated by resa";
+           Printf.sprintf "MaxProcs: %d" m;
+           Printf.sprintf "seed: %d, overestimate: %.2f" seed overestimate;
+         ]
+       entries)
+
+let trace_cmd =
+  let m = Arg.(value & opt int 64 & info [ "m" ] ~doc:"Number of machines.") in
+  let n = Arg.(value & opt int 200 & info [ "n" ] ~doc:"Trace length.") in
+  let max_runtime = Arg.(value & opt int 200 & info [ "max-runtime" ] ~doc:"Max runtime.") in
+  let mean_gap = Arg.(value & opt float 5.0 & info [ "mean-gap" ] ~doc:"Mean inter-arrival gap.") in
+  let overestimate =
+    Arg.(value & opt float 1.0 & info [ "overestimate" ] ~doc:"Mean walltime overestimation (>= 1).")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Emit a synthetic Standard Workload Format trace")
+    Term.(const trace $ m $ n $ max_runtime $ mean_gap $ overestimate $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* info                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let info_main path =
+  let inst = read_instance path in
+  Format.printf "%a@." Instance.pp inst;
+  Printf.printf "total work:        %d processor-units\n" (Instance.total_work inst);
+  Printf.printf "pmax / qmax:       %d / %d\n" (Instance.pmax inst) (Instance.qmax inst);
+  Printf.printf "peak blocked:      %d of %d processors\n" (Instance.umax inst) (Instance.m inst);
+  Printf.printf "reservation horizon: %d\n" (Instance.horizon inst);
+  (match Instance.alpha_interval inst with
+  | Some (lo, hi) -> Printf.printf "alpha-restricted for alpha in [%.3f, %.3f]\n" lo hi
+  | None -> print_endline "not alpha-restricted for any alpha");
+  Printf.printf "lower bounds:      work=%d fit=%d serial=%d -> best=%d\n"
+    (Resa_exact.Lower_bounds.work_bound inst)
+    (Resa_exact.Lower_bounds.fit_bound inst)
+    (Resa_exact.Lower_bounds.serial_bound inst)
+    (Resa_exact.Lower_bounds.best inst);
+  let horizon = max 1 (max (Instance.horizon inst) (Resa_exact.Lower_bounds.best inst)) in
+  print_endline "availability profile:";
+  print_string (Gantt.render_profile ~width:70 ~height:8 (Instance.availability inst) ~hi:horizon)
+
+let info_cmd =
+  let path = Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc:"Instance file ('-' for stdin).") in
+  Cmd.v (Cmd.info "info" ~doc:"Summarise an instance file") Term.(const info_main $ path)
+
+(* ------------------------------------------------------------------ *)
+(* bounds                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let bounds alphas =
+  Printf.printf "%8s %12s %8s %8s\n" "alpha" "2/a(upper)" "B1" "B2";
+  List.iter
+    (fun (a, ub, b1, b2) -> Printf.printf "%8.3f %12.3f %8.3f %8.3f\n" a ub b1 b2)
+    (Resa_analysis.Ratio_bounds.figure4_rows ~alphas)
+
+let bounds_cmd =
+  let alphas =
+    Arg.(
+      value
+      & opt (list float) [ 0.25; 0.33; 0.5; 0.66; 0.75; 1.0 ]
+      & info [ "alphas" ] ~doc:"Comma-separated alpha values.")
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Print the Figure 4 bound curves")
+    Term.(const bounds $ alphas)
+
+let () =
+  let doc = "scheduling with reservations: algorithms, bounds and simulator" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "resa" ~version:"1.0.0" ~doc)
+          [ generate_cmd; solve_cmd; simulate_cmd; trace_cmd; bounds_cmd; info_cmd ]))

@@ -1,0 +1,54 @@
+(* Quickstart: build an instance with a reservation, schedule it with LSRC,
+   inspect and render the result.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Resa_core
+open Resa_algos
+
+let () =
+  (* A cluster with 8 processors. One reservation blocks 5 processors
+     during [6, 10) — say, a maintenance window booked in advance. *)
+  let inst =
+    Instance.of_sizes ~m:8
+      ~reservations:[ (6, 4, 5) ] (* start, duration, processors *)
+      [
+        (4, 3); (* job 0: 3 processors for 4 time units *)
+        (2, 5); (* job 1 *)
+        (7, 2); (* job 2 *)
+        (3, 4); (* job 3 *)
+        (5, 1); (* job 4 *)
+        (2, 6); (* job 5 *)
+      ]
+  in
+  Format.printf "%a@." Instance.pp inst;
+
+  (* Schedule with list scheduling (LSRC), the algorithm the paper analyses;
+     jobs are considered in FIFO order and greedily started whenever their
+     whole execution window fits around the reservations. *)
+  let schedule = Lsrc.run inst in
+
+  (* Every schedule can be validated independently of the algorithm. *)
+  (match Schedule.validate inst schedule with
+  | Ok () -> print_endline "schedule is feasible"
+  | Error v -> Format.printf "BUG: %a@." Schedule.pp_violation v);
+
+  Printf.printf "makespan: %d\n" (Schedule.makespan inst schedule);
+  Printf.printf "lower bound on the optimum: %d\n" (Resa_exact.Lower_bounds.best inst);
+  Printf.printf "utilization of available processor-time: %.2f\n\n"
+    (Schedule.utilization inst schedule);
+
+  (* ASCII Gantt chart: one row per processor, '#' = reservation. *)
+  print_string (Gantt.render ~width:60 inst schedule);
+
+  (* The exact solver confirms how far from optimal we are. *)
+  let r = Resa_exact.Bnb.solve inst in
+  Printf.printf "\nexact optimum: %d (proved: %b)  LSRC/OPT = %.3f\n" r.makespan r.optimal
+    (float_of_int (Schedule.makespan inst schedule) /. float_of_int r.makespan);
+
+  (* Comparing a few priority rules is one line each. *)
+  List.iter
+    (fun p ->
+      Printf.printf "%-10s -> makespan %d\n" (Priority.name p)
+        (Schedule.makespan inst (Lsrc.run ~priority:p inst)))
+    Priority.standard

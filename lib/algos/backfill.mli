@@ -1,0 +1,28 @@
+(** Backfilling variants (paper §2.2).
+
+    - {e Conservative}: every job, in queue order, is planned at the earliest
+      start that delays no previously planned job. Equivalent to inserting
+      each job at its earliest fit in the running capacity plan.
+    - {e EASY} (aggressive): only the queue head holds a guaranteed start
+      ("pull reservation"); any later job may jump the queue if starting it
+      now does not push the head's guaranteed start. More aggressive than
+      conservative, less than LSRC (which lets anything delay anything, the
+      paper's "most aggressive variant"). *)
+
+open Resa_core
+
+val conservative : ?priority:Priority.t -> Instance.t -> Schedule.t
+(** Always feasible; satisfies {!no_earlier_job_delayed}. *)
+
+val conservative_order : Instance.t -> int array -> Schedule.t
+
+val easy : ?priority:Priority.t -> Instance.t -> Schedule.t
+(** Offline emulation of EASY backfilling (all jobs ready at time 0):
+    event-driven simulation with head-reservation protection. *)
+
+val easy_order : Instance.t -> int array -> Schedule.t
+
+val no_earlier_job_delayed : Instance.t -> int array -> Schedule.t -> bool
+(** Conservative-backfilling certificate: removing any suffix of the queue
+    and replanning leaves every remaining start unchanged, i.e. each job got
+    the earliest fit given only its predecessors. *)

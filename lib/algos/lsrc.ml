@@ -1,0 +1,80 @@
+open Resa_core
+
+let run_order inst order =
+  let n = Instance.n_jobs inst in
+  if Array.length order <> n then invalid_arg "Lsrc.run_order: order length mismatch";
+  let starts = Array.make n (-1) in
+  let free = ref (Instance.availability inst) in
+  (* Start, in list order, every pending job whose whole window fits at [t];
+     returns the still-pending suffix-preserving list. *)
+  let rec place_fitting t = function
+    | [] -> []
+    | i :: rest ->
+      let j = Instance.job inst i in
+      if Profile.min_on !free ~lo:t ~hi:(t + Job.p j) >= Job.q j then begin
+        starts.(i) <- t;
+        free := Profile.reserve !free ~start:t ~dur:(Job.p j) ~need:(Job.q j);
+        place_fitting t rest
+      end
+      else i :: place_fitting t rest
+  in
+  let rec loop t pending =
+    match place_fitting t pending with
+    | [] -> ()
+    | pending ->
+      (match Profile.next_breakpoint_after !free t with
+      | Some t' -> loop t' pending
+      | None ->
+        (* Unreachable: past the last breakpoint the capacity is the full
+           machine, so every pending job fits (DESIGN.md §1). *)
+        assert false)
+  in
+  loop 0 (Array.to_list order);
+  Schedule.make starts
+
+let run ?(priority = Priority.Fifo) inst = run_order inst (Priority.order priority inst)
+
+let decision_times inst sched =
+  let cmax = Schedule.makespan inst sched in
+  let avail_bps = Array.to_list (Profile.breakpoints (Instance.availability inst)) in
+  let completions =
+    List.init (Schedule.n_jobs sched) (fun i -> Schedule.completion inst sched i)
+  in
+  List.sort_uniq Int.compare
+    (List.filter (fun t -> t <= cmax) (0 :: (avail_bps @ completions)))
+
+let is_greedy inst sched =
+  match Schedule.validate inst sched with
+  | Error _ -> false
+  | Ok () ->
+    let n = Schedule.n_jobs sched in
+    let avail = Instance.availability inst in
+    (* Free capacity seen by the scheduler at decision time [t]: availability
+       minus the windows of jobs started at or before [t]. Jobs started later
+       do not count — they were pending then. *)
+    let free_at t =
+      let deltas = ref [] in
+      for i = 0 to n - 1 do
+        let s = Schedule.start sched i in
+        if s <= t then begin
+          let j = Instance.job inst i in
+          deltas := (s, Job.q j) :: (s + Job.p j, -Job.q j) :: !deltas
+        end
+      done;
+      Profile.sub avail (Profile.of_events ~base:0 !deltas)
+    in
+    (* Maximality: at every decision time, no job that was still pending
+       could have had its whole window inserted. *)
+    List.for_all
+      (fun t ->
+        let free = free_at t in
+        let rec jobs_ok i =
+          i >= n
+          ||
+          let s = Schedule.start sched i in
+          let j = Instance.job inst i in
+          (s <= t || Profile.min_on free ~lo:t ~hi:(t + Job.p j) < Job.q j)
+          && jobs_ok (i + 1)
+        in
+        jobs_ok 0)
+      (decision_times inst sched)

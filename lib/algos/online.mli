@@ -1,0 +1,29 @@
+(** Online scheduling by batches (paper §2.1).
+
+    Jobs arrive over time; following Shmoys, Wein & Williamson (1995), any
+    offline algorithm can be run online by batches: all jobs that arrived
+    during the current batch are scheduled together, as a new batch, once the
+    current batch completes. The makespan guarantee doubles: if the offline
+    algorithm is ρ-approximate, the batch version is 2ρ-competitive.
+
+    Reservations are honoured: each batch is scheduled by the offline
+    algorithm on the availability profile restricted to times after the
+    previous batch's completion. *)
+
+open Resa_core
+
+type report = {
+  schedule : Schedule.t;
+  batches : int list list;  (** Job indices per batch, in batch order. *)
+  batch_starts : int list;  (** Time at which each batch was launched. *)
+}
+
+val run :
+  ?offline:(Instance.t -> Schedule.t) -> Instance.t -> release:int array -> report
+(** [run inst ~release] schedules every job of [inst] at or after its release
+    date. [release.(i)] is job [i]'s arrival; must be non-negative, one per
+    job. Default offline algorithm: [Lsrc.run] with FIFO priority. The
+    offline algorithm is invoked on sub-instances whose job sets are batches
+    and whose reservations include a full-machine blocker covering
+    [\[0, batch start)]. The result is feasible for [inst] and no job starts
+    before its release. *)

@@ -1,0 +1,47 @@
+(** Empirical worst-case search over list orders, and scheduling anomalies.
+
+    The paper's bounds quantify over *all* priority lists; these tools
+    search that space on concrete instances: a local-search maximiser for
+    the LSRC makespan over permutations (used by the FIG4 experiment to
+    drive the measured curve toward the lower bound), and a detector for
+    Graham-style anomalies where *removing* a job makes the list schedule
+    longer — impossible for the optimum, very possible for greedy lists
+    under reservations. *)
+
+open Resa_core
+
+val worst_order : ?restarts:int -> ?iterations:int -> Prng.t -> Instance.t -> int array * int
+(** [worst_order rng inst] hill-climbs over job permutations (random
+    restarts, best pairwise-swap moves) to maximise the LSRC makespan.
+    Returns the worst order found and its makespan — a certified *lower*
+    bound on the instance's worst-case list behaviour. Deterministic given
+    the generator state. Defaults: 4 restarts, 60 iterations each. *)
+
+type removal_anomaly = {
+  removed : int;  (** Job index whose removal lengthens the schedule. *)
+  with_job : int;  (** FIFO-LSRC makespan of the full instance. *)
+  without_job : int;  (** Makespan after removing the job ([> with_job]). *)
+}
+
+val find_removal_anomaly : Instance.t -> removal_anomaly option
+(** Scan all single-job removals under FIFO LSRC (the remaining jobs keep
+    their relative order). [None] if the instance is monotone under
+    removal. *)
+
+val check_removal_anomaly : Instance.t -> removal_anomaly -> bool
+(** Recompute and verify a claimed anomaly. *)
+
+type machine_anomaly = {
+  m_small : int;
+  m_large : int;  (** [m_small + 1]. *)
+  cmax_small : int;
+  cmax_large : int;  (** [> cmax_small]: more processors, longer schedule. *)
+}
+
+val find_machine_anomaly : Instance.t -> machine_anomaly option
+(** Graham's most famous anomaly transposed to rigid tasks: does adding one
+    processor make the FIFO list schedule *longer*? Only meaningful for
+    reservation-free instances ([Invalid_argument] otherwise, since
+    reservations are machine-count-specific). *)
+
+val check_machine_anomaly : Instance.t -> machine_anomaly -> bool

@@ -1,0 +1,36 @@
+let check_alpha alpha =
+  if not (alpha > 0.0 && alpha <= 1.0) then invalid_arg "Ratio_bounds: alpha must be in (0,1]"
+
+let upper_bound ~alpha =
+  check_alpha alpha;
+  2.0 /. alpha
+
+let prop2_value ~alpha =
+  check_alpha alpha;
+  (2.0 /. alpha) -. 1.0 +. (alpha /. 2.0)
+
+let ceil_2_over_alpha alpha = ceil (2.0 /. alpha -. 1e-12)
+
+let b1 ~alpha =
+  check_alpha alpha;
+  let c = ceil_2_over_alpha alpha in
+  let half = alpha /. 2.0 in
+  let denom_inner = 1.0 -. (half *. (c -. 1.0)) in
+  let inner = (1.0 -. half) /. denom_inner in
+  c -. 1.0 +. (1.0 /. (Float.of_int (int_of_float (floor (inner +. 1e-12))) +. 1.0))
+
+let b2 ~alpha =
+  check_alpha alpha;
+  let c = ceil_2_over_alpha alpha in
+  c -. ((c -. 1.0) /. (2.0 /. alpha))
+
+let graham ~m =
+  if m < 1 then invalid_arg "Ratio_bounds.graham: m must be >= 1";
+  2.0 -. (1.0 /. float_of_int m)
+
+let prop1_bound ~m_at_opt =
+  if m_at_opt < 1 then invalid_arg "Ratio_bounds.prop1_bound: m_at_opt must be >= 1";
+  2.0 -. (1.0 /. float_of_int m_at_opt)
+
+let figure4_rows ~alphas =
+  List.map (fun a -> (a, upper_bound ~alpha:a, b1 ~alpha:a, b2 ~alpha:a)) alphas

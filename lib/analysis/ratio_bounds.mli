@@ -1,0 +1,31 @@
+(** The paper's closed-form performance bounds, as plotted in Figure 4.
+
+    All functions take [alpha ∈ (0, 1]] and return worst-case makespan
+    ratios. *)
+
+val upper_bound : alpha:float -> float
+(** Proposition 3: LSRC is at most [2/α]-approximate on
+    α-RESASCHEDULING. *)
+
+val prop2_value : alpha:float -> float
+(** Proposition 2 (for [2/α] integer): ratios of at least
+    [2/α − 1 + α/2] are achieved by adversarial instances. *)
+
+val b1 : alpha:float -> float
+(** The lower bound [B1] of §4.2 for general α:
+    [⌈2/α⌉ − 1 + 1/(⌊(1−α/2)/(1−(α/2)(⌈2/α⌉−1))⌋ + 1)].
+    Coincides with {!prop2_value} when [2/α] is an integer. *)
+
+val b2 : alpha:float -> float
+(** The weaker but simpler bound [B2 = ⌈2/α⌉ − (⌈2/α⌉−1)/(2/α)].
+    Always [<= b1]. *)
+
+val graham : m:int -> float
+(** Theorem 2: [2 − 1/m], the reservation-free guarantee. *)
+
+val prop1_bound : m_at_opt:int -> float
+(** Proposition 1: [2 − 1/m(C_opt)] for non-increasing reservations, where
+    [m_at_opt] is the number of processors available at the optimum. *)
+
+val figure4_rows : alphas:float list -> (float * float * float * float) list
+(** [(α, 2/α, B1, B2)] rows — the series of Figure 4. *)

@@ -1,0 +1,85 @@
+open Resa_core
+
+let is_non_increasing inst =
+  let u = Instance.unavailability inst in
+  let ok, _ =
+    Profile.fold_segments u ~init:(true, max_int) ~f:(fun (ok, prev) ~lo:_ ~hi:_ ~v ->
+        (ok && v <= prev, v))
+  in
+  ok
+
+let require_non_increasing inst =
+  if not (is_non_increasing inst) then
+    invalid_arg "Transform: instance must have non-increasing reservations"
+
+(* Decompose a non-increasing, eventually-zero staircase into reservations
+   all starting at 0: each descending step at time t contributes a
+   reservation [0, t) of width (drop). *)
+let staircase_reservations u =
+  let steps = Profile.to_steps u in
+  let rec walk acc prev = function
+    | [] -> acc
+    | (t, v) :: rest ->
+      let acc = if t > 0 && v < prev then (t, prev - v) :: acc else acc in
+      walk acc v rest
+  in
+  let drops = walk [] max_int steps |> List.rev in
+  List.mapi (fun i (t, drop) -> Reservation.make ~id:i ~start:0 ~p:t ~q:drop) drops
+
+let clip inst ~at =
+  require_non_increasing inst;
+  if at < 0 then invalid_arg "Transform.clip: at must be >= 0";
+  let u = Instance.unavailability inst in
+  let u_at = Profile.value_at u at in
+  let m' = Instance.m inst - u_at in
+  (* U' = (U − U(at)) before [at], 0 afterwards; non-increasing keeps it
+     non-negative before [at]. *)
+  let u' =
+    Profile.fold_segments u ~init:[] ~f:(fun acc ~lo ~hi:_ ~v ->
+        if lo < at then (lo, max 0 (v - u_at)) :: acc else acc)
+    |> fun acc -> Profile.of_steps (List.rev ((at, 0) :: acc))
+  in
+  Instance.create_exn ~m:m'
+    ~jobs:(Array.to_list (Instance.jobs inst))
+    ~reservations:(staircase_reservations u')
+
+let to_rigid inst =
+  require_non_increasing inst;
+  let u = Instance.unavailability inst in
+  (* Head job per descending step: q = U_j − U_{j+1}, p = t_{j+1}. *)
+  let steps = Profile.to_steps u in
+  let rec drops acc prev = function
+    | [] -> List.rev acc
+    | (t, v) :: rest ->
+      let acc = if t > 0 && v < prev then (t, prev - v) :: acc else acc in
+      drops acc v rest
+  in
+  let head = drops [] max_int steps in
+  let n_head = List.length head in
+  let head_jobs = List.mapi (fun j (t, drop) -> Job.make ~id:j ~p:t ~q:drop) head in
+  let orig_jobs =
+    Array.to_list (Instance.jobs inst)
+    |> List.mapi (fun i j -> Job.make ~id:(n_head + i) ~p:(Job.p j) ~q:(Job.q j))
+  in
+  ( Instance.create_exn ~m:(Instance.m inst) ~jobs:(head_jobs @ orig_jobs) ~reservations:[],
+    n_head )
+
+let three_partition_target ~k ~b = (k * (b + 1)) - 1
+
+let of_three_partition ~xs ~b ~rho =
+  let n = Array.length xs in
+  if n mod 3 <> 0 || n = 0 then invalid_arg "Transform.of_three_partition: |xs| must be a positive multiple of 3";
+  if rho < 1 then invalid_arg "Transform.of_three_partition: rho must be >= 1";
+  let k = n / 3 in
+  let sum = Array.fold_left ( + ) 0 xs in
+  if sum <> k * b then invalid_arg "Transform.of_three_partition: sum xs must equal k*b";
+  Array.iter (fun x -> if x < 1 then invalid_arg "Transform.of_three_partition: xs must be >= 1") xs;
+  let jobs = Array.to_list (Array.mapi (fun i x -> Job.make ~id:i ~p:x ~q:1) xs) in
+  let reservations =
+    List.init k (fun idx ->
+        let j = idx + 1 in
+        let start = (j * (b + 1)) - 1 in
+        let p = if j = k then (rho * k * (b + 1)) + 1 else 1 in
+        Reservation.make ~id:idx ~start ~p ~q:1)
+  in
+  Instance.create_exn ~m:1 ~jobs ~reservations

@@ -1,0 +1,49 @@
+(** The paper's two instance transformations.
+
+    - Proposition 1 (Figure 2): an instance with {e non-increasing}
+      reservations is clipped at a reference time ([I → I']) and its
+      unavailability staircase replaced by rigid "head" tasks ([I' → I''])
+      that a list scheduler, given them first, schedules exactly where the
+      reservations were. This reduces the analysis to Theorem 2.
+    - Theorem 1 (Figure 1): the reduction from 3-PARTITION showing that
+      unrestricted RESASCHEDULING admits no approximation algorithm. *)
+
+open Resa_core
+
+val is_non_increasing : Instance.t -> bool
+(** Whether the unavailability [U] is non-increasing over time (equivalently
+    the availability is non-decreasing) — the §4.1 restriction. *)
+
+val clip : Instance.t -> at:int -> Instance.t
+(** [clip inst ~at] is the proof's [I']: the machine shrinks to
+    [m' = m − U(at)] processors, the availability is unchanged before [at]
+    and constantly [m'] afterwards. Requires non-increasing reservations and
+    [at >= 0]. Both instances have the same optimum when [at] is the optimal
+    makespan, and any feasible schedule of the clip is feasible for the
+    original. *)
+
+val to_rigid : Instance.t -> Instance.t * int
+(** [to_rigid inst = (inst'', n_head)] is the proof's [I'']: reservations
+    are deleted and replaced by [n_head] rigid jobs placed at the *front* of
+    the job array — job [j] (0-based, [j < n_head]) has [q = U_j − U_{j+1}]
+    and [p = t_{j+1}] in the notation of Figure 2. Original job [i] becomes
+    job [n_head + i]. Requires non-increasing reservations.
+
+    With FIFO priority, LSRC starts every head job at time 0, recreating the
+    unavailability staircase: its makespan on [inst''] equals its makespan on
+    [inst] whenever the head jobs dominate the staircase (Proposition 1's
+    argument). *)
+
+val of_three_partition : xs:int array -> b:int -> rho:int -> Instance.t
+(** Theorem 1's reduction instance (Figure 1): one machine, one unit job per
+    integer [x_i], and [k = |xs|/3] unit reservations carving windows of
+    length exactly [b]; the last reservation has length [ρ·k·(b+1)+1] so
+    that any ρ-approximation must answer the 3-PARTITION question.
+    Requires [|xs|] divisible by 3 and [Σ xs = k·b].
+
+    The instance admits a schedule of makespan [k(b+1) − 1] iff the
+    3-PARTITION instance is a YES instance; otherwise every schedule has
+    makespan [> (ρ+1)·k·(b+1) − 1]. *)
+
+val three_partition_target : k:int -> b:int -> int
+(** The YES-makespan [k(b+1) − 1]. *)

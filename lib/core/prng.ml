@@ -1,0 +1,68 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* SplitMix64 output function (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g =
+  let s = bits64 g in
+  { state = mix (Int64.logxor s 0xA5A5A5A5A5A5A5A5L) }
+
+let int g ~bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec draw () =
+    let r = Int64.to_int (Int64.shift_right_logical (bits64 g) 2) in
+    let v = r mod bound in
+    if r - v > (max_int lsr 1) - bound + 1 then draw () else v
+  in
+  draw ()
+
+let int_incl g ~lo ~hi =
+  if lo > hi then invalid_arg "Prng.int_incl: lo > hi";
+  lo + int g ~bound:(hi - lo + 1)
+
+let float g ~bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  bound *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g ~bound:(i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose g a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int g ~bound:(Array.length a))
+
+let exponential g ~mean =
+  if mean <= 0.0 then invalid_arg "Prng.exponential: mean must be positive";
+  let u = 1.0 -. float g ~bound:1.0 in
+  -.mean *. log u
+
+let log_uniform_int g ~lo ~hi =
+  if lo < 1 || lo > hi then invalid_arg "Prng.log_uniform_int: need 1 <= lo <= hi";
+  if lo = hi then lo
+  else begin
+    let llo = log (Stdlib.float_of_int lo) and lhi = log (Stdlib.float_of_int (hi + 1)) in
+    let x = exp (llo +. float g ~bound:(lhi -. llo)) in
+    let v = int_of_float x in
+    max lo (min hi v)
+  end

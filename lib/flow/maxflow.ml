@@ -1,0 +1,105 @@
+type t = {
+  n : int;
+  (* Edge arrays: twin edges at indices 2k (forward) and 2k+1 (backward). *)
+  mutable dst : int array;
+  mutable cap : int array;
+  mutable n_edges : int;
+  adj : int list array; (* per node, edge indices, reverse insertion order *)
+}
+
+let create ~n_nodes =
+  if n_nodes < 2 then invalid_arg "Maxflow.create: need at least 2 nodes";
+  { n = n_nodes; dst = Array.make 16 0; cap = Array.make 16 0; n_edges = 0; adj = Array.make n_nodes [] }
+
+let grow g =
+  let len = Array.length g.dst in
+  let dst = Array.make (2 * len) 0 and cap = Array.make (2 * len) 0 in
+  Array.blit g.dst 0 dst 0 len;
+  Array.blit g.cap 0 cap 0 len;
+  g.dst <- dst;
+  g.cap <- cap
+
+let add_edge g ~src ~dst ~cap =
+  if cap < 0 then invalid_arg "Maxflow.add_edge: negative capacity";
+  if src < 0 || src >= g.n || dst < 0 || dst >= g.n then invalid_arg "Maxflow.add_edge: bad node";
+  while g.n_edges + 2 > Array.length g.dst do
+    grow g
+  done;
+  let e = g.n_edges in
+  g.dst.(e) <- dst;
+  g.cap.(e) <- cap;
+  g.dst.(e + 1) <- src;
+  g.cap.(e + 1) <- 0;
+  g.n_edges <- g.n_edges + 2;
+  g.adj.(src) <- e :: g.adj.(src);
+  g.adj.(dst) <- (e + 1) :: g.adj.(dst);
+  e
+
+let max_flow g ~source ~sink =
+  if source = sink then invalid_arg "Maxflow.max_flow: source = sink";
+  let level = Array.make g.n (-1) in
+  let iter = Array.make g.n [] in
+  let queue = Queue.create () in
+  let bfs () =
+    Array.fill level 0 g.n (-1);
+    Queue.clear queue;
+    level.(source) <- 0;
+    Queue.add source queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun e ->
+          let v = g.dst.(e) in
+          if g.cap.(e) > 0 && level.(v) < 0 then begin
+            level.(v) <- level.(u) + 1;
+            Queue.add v queue
+          end)
+        g.adj.(u)
+    done;
+    level.(sink) >= 0
+  in
+  let rec dfs u pushed =
+    if u = sink then pushed
+    else begin
+      let rec try_edges () =
+        match iter.(u) with
+        | [] -> 0
+        | e :: rest ->
+          let v = g.dst.(e) in
+          if g.cap.(e) > 0 && level.(v) = level.(u) + 1 then begin
+            let d = dfs v (min pushed g.cap.(e)) in
+            if d > 0 then begin
+              g.cap.(e) <- g.cap.(e) - d;
+              g.cap.(e lxor 1) <- g.cap.(e lxor 1) + d;
+              d
+            end
+            else begin
+              iter.(u) <- rest;
+              try_edges ()
+            end
+          end
+          else begin
+            iter.(u) <- rest;
+            try_edges ()
+          end
+      in
+      try_edges ()
+    end
+  in
+  let total = ref 0 in
+  while bfs () do
+    for i = 0 to g.n - 1 do
+      iter.(i) <- g.adj.(i)
+    done;
+    let continue = ref true in
+    while !continue do
+      let pushed = dfs source max_int in
+      if pushed = 0 then continue := false else total := !total + pushed
+    done
+  done;
+  !total
+
+let flow_on g e =
+  (* Flow on forward edge e = residual capacity accumulated on its twin. *)
+  if e < 0 || e >= g.n_edges || e land 1 = 1 then invalid_arg "Maxflow.flow_on: bad handle";
+  g.cap.(e + 1)

@@ -1,0 +1,21 @@
+(** Maximum flow (Dinic's algorithm) on integer capacities.
+
+    A small self-contained substrate used by {!Resa_algos.Preemptive} to
+    decide preemptive schedulability (jobs × availability-segments
+    transportation) and to extract the witness assignment. O(V²·E) worst
+    case, far faster on the shallow bipartite networks built here. *)
+
+type t
+
+val create : n_nodes:int -> t
+(** Nodes are [0 .. n_nodes-1]. *)
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> int
+(** Add a directed edge (plus its residual twin). Returns an edge handle
+    usable with {!flow_on}. Capacities must be non-negative. *)
+
+val max_flow : t -> source:int -> sink:int -> int
+(** Compute (and fix) the maximum flow. May be called once per network. *)
+
+val flow_on : t -> int -> int
+(** Flow routed through the given edge handle after {!max_flow}. *)

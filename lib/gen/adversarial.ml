@@ -1,0 +1,54 @@
+open Resa_core
+
+let prop2 ~k =
+  if k < 3 then invalid_arg "Adversarial.prop2: k must be >= 3";
+  let m = k * k * (k - 1) in
+  let short_wide = List.init k (fun i -> Job.make ~id:i ~p:1 ~q:((k - 1) * (k - 1))) in
+  let long = List.init (k - 1) (fun i -> Job.make ~id:(k + i) ~p:k ~q:((k * (k - 1)) + 1)) in
+  let reservation =
+    Reservation.make ~id:0 ~start:k ~p:(2 * k * k) ~q:(k * (k - 1) * (k - 2))
+  in
+  let inst = Instance.create_exn ~m ~jobs:(short_wide @ long) ~reservations:[ reservation ] in
+  (inst, k)
+
+let prop2_alpha ~k = 2.0 /. float_of_int k
+
+let prop2_expected_lsrc ~k = (k * k) - k + 1
+
+let fcfs_bad ~m ~len =
+  if m < 1 then invalid_arg "Adversarial.fcfs_bad: m must be >= 1";
+  if len < 1 then invalid_arg "Adversarial.fcfs_bad: len must be >= 1";
+  let jobs =
+    List.concat
+      (List.init m (fun i ->
+           [ Job.make ~id:(2 * i) ~p:len ~q:1; Job.make ~id:((2 * i) + 1) ~p:1 ~q:m ]))
+  in
+  let inst = Instance.create_exn ~m ~jobs ~reservations:[] in
+  (inst, len + m)
+
+let graham_tight ~m =
+  if m < 2 then invalid_arg "Adversarial.graham_tight: m must be >= 2";
+  let units = List.init (m * (m - 1)) (fun i -> Job.make ~id:i ~p:1 ~q:1) in
+  let long = Job.make ~id:(m * (m - 1)) ~p:m ~q:1 in
+  let inst = Instance.create_exn ~m ~jobs:(units @ [ long ]) ~reservations:[] in
+  (inst, m)
+
+let figure2_example () =
+  (* m=10; U drops 6 → 3 → 0 at times 4 and 9 (three availability levels, as
+     in Figure 2), plus a handful of jobs. *)
+  let reservations =
+    [
+      Reservation.make ~id:0 ~start:0 ~p:4 ~q:3;
+      Reservation.make ~id:1 ~start:0 ~p:9 ~q:3;
+    ]
+  in
+  let jobs =
+    [
+      Job.make ~id:0 ~p:5 ~q:4;
+      Job.make ~id:1 ~p:3 ~q:3;
+      Job.make ~id:2 ~p:6 ~q:2;
+      Job.make ~id:3 ~p:2 ~q:7;
+      Job.make ~id:4 ~p:4 ~q:5;
+    ]
+  in
+  Instance.create_exn ~m:10 ~jobs ~reservations

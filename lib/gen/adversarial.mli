@@ -1,0 +1,38 @@
+(** Deterministic worst-case instance families from the paper.
+
+    Each builder returns the instance together with its (known, certified by
+    construction) optimal makespan. *)
+
+open Resa_core
+
+val prop2 : k:int -> Instance.t * int
+(** Proposition 2 / Figure 3 instance for [α = 2/k], [k >= 3], in integer
+    time scaled by [k]:
+    [m = k²(k−1)]; [k] short-wide jobs (p=1, q=(k−1)²) listed first; [k−1]
+    long jobs (p=k, q=k(k−1)+1); one reservation of [k(k−1)(k−2)] processors
+    over [\[k, k+2k²)]. The optimum is [k]; FIFO LSRC yields
+    [k(k−1)+1 = k² − k + 1], i.e. ratio [2/α − 1 + α/2].
+    (Figure 3 shows the unscaled [k=6] member: C_opt=6, LSRC=31.) *)
+
+val prop2_alpha : k:int -> float
+(** The α value [2/k] of the [prop2] family. *)
+
+val prop2_expected_lsrc : k:int -> int
+(** [k² − k + 1], the FIFO-LSRC makespan proved in Proposition 2. *)
+
+val fcfs_bad : m:int -> len:int -> Instance.t * int
+(** The §2.2 family showing FCFS has no constant guarantee: [m] pairs
+    (narrow p=[len] q=1; wide p=1 q=[m]) in alternating FIFO order.
+    Optimum [len + m]; FCFS produces [m·(len+1)], so the ratio approaches
+    [m] as [len] grows. Requires [m >= 1], [len >= 1]. *)
+
+val graham_tight : m:int -> Instance.t * int
+(** Reservation-free family on which FIFO LSRC attains exactly the Graham
+    guarantee [2 − 1/m] (Theorem 2): [m(m−1)] unit jobs followed by one
+    (p=[m], q=1) job. Optimum [m]; LSRC gives [2m − 1]. Requires
+    [m >= 2]. *)
+
+val figure2_example : unit -> Instance.t
+(** A small fixed instance with non-increasing reservations shaped like
+    Figure 2 (three availability levels), used by tests and examples of the
+    Proposition 1 transformation. *)

@@ -1,0 +1,102 @@
+open Resa_core
+
+type t = {
+  instance : Instance.t;
+  witness : Schedule.t;
+  optimal : int;
+}
+
+(* A block of the guillotine partition: [w × h] at position (t0, proc0). *)
+type block = { t0 : int; w : int; h : int }
+
+let split_block rng b =
+  (* Split along a random feasible dimension; returns None if 1×1. *)
+  let can_time = b.w > 1 and can_proc = b.h > 1 in
+  if not (can_time || can_proc) then None
+  else
+    let time_cut = can_time && ((not can_proc) || Prng.bool rng) in
+    if time_cut then begin
+      let w1 = Prng.int_incl rng ~lo:1 ~hi:(b.w - 1) in
+      Some ({ b with w = w1 }, { b with t0 = b.t0 + w1; w = b.w - w1 })
+    end
+    else begin
+      let h1 = Prng.int_incl rng ~lo:1 ~hi:(b.h - 1) in
+      Some ({ b with h = h1 }, { b with h = b.h - h1 })
+    end
+
+let generate rng ~m ~c ~target_jobs ?(reservation_fraction = 0.0) () =
+  if m < 1 || c < 1 || target_jobs < 1 then invalid_arg "Packed.generate: bad dimensions";
+  if reservation_fraction < 0.0 || reservation_fraction >= 1.0 then
+    invalid_arg "Packed.generate: reservation_fraction must be in [0,1)";
+  (* Split loop: keep an array of blocks, split random splittable ones. *)
+  let blocks = ref [ { t0 = 0; w = c; h = m } ] in
+  let count = ref 1 in
+  let continue = ref true in
+  while !count < target_jobs && !continue do
+    let splittable, solid = List.partition (fun b -> b.w > 1 || b.h > 1) !blocks in
+    match splittable with
+    | [] -> continue := false
+    | _ ->
+      let arr = Array.of_list splittable in
+      let idx = Prng.int rng ~bound:(Array.length arr) in
+      let rest = Array.to_list (Array.init (Array.length arr - 1) (fun i -> arr.(if i < idx then i else i + 1))) in
+      (match split_block rng arr.(idx) with
+      | None -> assert false
+      | Some (b1, b2) ->
+        blocks := b1 :: b2 :: rest @ solid;
+        incr count)
+  done;
+  let blocks = Array.of_list !blocks in
+  (* Choose reservations; maintain per-time-column job coverage >= 1. *)
+  let n = Array.length blocks in
+  let is_res = Array.make n false in
+  if reservation_fraction > 0.0 && n > 1 then begin
+    (* Track how many job blocks cover each time unit. *)
+    let cover = Array.make c 0 in
+    Array.iter (fun b -> for t = b.t0 to b.t0 + b.w - 1 do cover.(t) <- cover.(t) + 1 done) blocks;
+    let order = Array.init n (fun i -> i) in
+    Prng.shuffle rng order;
+    let wanted = int_of_float (reservation_fraction *. float_of_int n) in
+    let taken = ref 0 in
+    Array.iter
+      (fun i ->
+        if !taken < wanted then begin
+          let b = blocks.(i) in
+          let ok = ref true in
+          for t = b.t0 to b.t0 + b.w - 1 do
+            if cover.(t) <= 1 then ok := false
+          done;
+          if !ok then begin
+            is_res.(i) <- true;
+            incr taken;
+            for t = b.t0 to b.t0 + b.w - 1 do
+              cover.(t) <- cover.(t) - 1
+            done
+          end
+        end)
+      order
+  end;
+  let jobs = ref [] and starts = ref [] and reservations = ref [] in
+  let jid = ref 0 and rid = ref 0 in
+  Array.iteri
+    (fun i b ->
+      if is_res.(i) then begin
+        reservations := Reservation.make ~id:!rid ~start:b.t0 ~p:b.w ~q:b.h :: !reservations;
+        incr rid
+      end
+      else begin
+        jobs := Job.make ~id:!jid ~p:b.w ~q:b.h :: !jobs;
+        starts := b.t0 :: !starts;
+        incr jid
+      end)
+    blocks;
+  let instance =
+    Instance.create_exn ~m ~jobs:(List.rev !jobs) ~reservations:(List.rev !reservations)
+  in
+  let witness = Schedule.make (Array.of_list (List.rev !starts)) in
+  (match Schedule.validate instance witness with
+  | Ok () -> ()
+  | Error v ->
+    invalid_arg (Format.asprintf "Packed.generate: internal witness infeasible: %a" Schedule.pp_violation v));
+  assert (Schedule.makespan instance witness = c);
+  { instance; witness; optimal = c }

@@ -1,0 +1,36 @@
+(** Random instances with a *known* optimal makespan.
+
+    The [m × c] time–processor rectangle is split by a random guillotine
+    process into axis-aligned blocks; each block becomes a job (duration =
+    width, processors = height) placed at its block position in the witness
+    schedule, so the jobs pack the machine perfectly and the optimum is
+    exactly [c] (the work bound [W/m] matches the witness).
+
+    Optionally some blocks are turned into reservations instead of jobs; the
+    selection maintains the invariants that keep the optimum provably equal
+    to [c]: at least one processor runs a job at every instant of [\[0, c)]
+    (so the availability-aware work bound still equals [c]).
+
+    These instances drive ratio measurements at sizes where branch and bound
+    is out of reach (experiments T1 and T2). *)
+
+open Resa_core
+
+type t = {
+  instance : Instance.t;
+  witness : Schedule.t;  (** A feasible schedule of makespan exactly [c]. *)
+  optimal : int;  (** = [c]. *)
+}
+
+val generate :
+  Prng.t -> m:int -> c:int -> target_jobs:int -> ?reservation_fraction:float -> unit -> t
+(** [generate rng ~m ~c ~target_jobs ()] splits until about [target_jobs]
+    blocks exist (fewer when the rectangle cannot be split further).
+    [reservation_fraction] (default 0) is the fraction of blocks the
+    generator *attempts* to convert into reservations; conversions that
+    would break the known-optimum invariant are skipped. The result is
+    α-restricted for any α between [qmax/m] and [1 − umax/m] (see
+    [Instance.alpha_interval]).
+
+    Requires [m >= 1], [c >= 1], [target_jobs >= 1],
+    [0 <= reservation_fraction < 1]. *)

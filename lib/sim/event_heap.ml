@@ -1,0 +1,76 @@
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; len = 0; next_seq = 0 }
+
+let is_empty h = h.len = 0
+let size h = h.len
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h =
+  let cap = max 16 (2 * Array.length h.data) in
+  let data = Array.make cap h.data.(0) in
+  Array.blit h.data 0 data 0 h.len;
+  h.data <- data
+
+let push h ~time payload =
+  if time < 0 then invalid_arg "Event_heap.push: negative time";
+  let entry = { time; seq = h.next_seq; payload } in
+  h.next_seq <- h.next_seq + 1;
+  if h.len = Array.length h.data then
+    if h.len = 0 then h.data <- Array.make 16 entry else grow h;
+  h.data.(h.len) <- entry;
+  h.len <- h.len + 1;
+  (* Sift up. *)
+  let i = ref (h.len - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    before h.data.(!i) h.data.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = h.data.(parent) in
+    h.data.(parent) <- h.data.(!i);
+    h.data.(!i) <- tmp;
+    i := parent
+  done
+
+let peek_time h = if h.len = 0 then None else Some h.data.(0).time
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && before h.data.(l) h.data.(!smallest) then smallest := l;
+        if r < h.len && before h.data.(r) h.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = h.data.(!smallest) in
+          h.data.(!smallest) <- h.data.(!i);
+          h.data.(!i) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.time, top.payload)
+  end
+
+let clear h =
+  h.len <- 0;
+  h.next_seq <- 0

@@ -1,0 +1,21 @@
+(** Binary min-heap of timestamped events.
+
+    Ties are broken by insertion order, so simultaneous events are processed
+    first-in first-out — the determinism the simulator relies on. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:int -> 'a -> unit
+(** Raises [Invalid_argument] on negative time. *)
+
+val peek_time : 'a t -> int option
+(** Earliest timestamp without removing it. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the earliest event. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,69 @@
+open Resa_core
+
+type summary = {
+  n : int;
+  makespan : int;
+  mean_wait : float;
+  max_wait : int;
+  mean_slowdown : float;
+  mean_bounded_slowdown : float;
+  utilization : float;
+}
+
+let wait_times (trace : Simulator.trace) =
+  List.map (fun (r : Simulator.record) -> r.start - r.submit) trace.records
+
+let summarize ?(bound = 10) (trace : Simulator.trace) =
+  let n = List.length trace.records in
+  if n = 0 then
+    {
+      n = 0;
+      makespan = 0;
+      mean_wait = 0.;
+      max_wait = 0;
+      mean_slowdown = 1.;
+      mean_bounded_slowdown = 1.;
+      utilization = 1.;
+    }
+  else begin
+    let waits = wait_times trace in
+    let fsum = List.fold_left ( +. ) 0.0 in
+    let mean_wait = fsum (List.map float_of_int waits) /. float_of_int n in
+    let max_wait = List.fold_left max 0 waits in
+    let slowdowns =
+      List.map
+        (fun (r : Simulator.record) ->
+          float_of_int (r.start - r.submit + Job.p r.job) /. float_of_int (Job.p r.job))
+        trace.records
+    in
+    let bounded =
+      List.map
+        (fun (r : Simulator.record) ->
+          let denom = max (Job.p r.job) bound in
+          Float.max 1.0 (float_of_int (r.start - r.submit + Job.p r.job) /. float_of_int denom))
+        trace.records
+    in
+    let inst, sched = Simulator.to_offline trace in
+    {
+      n;
+      makespan = trace.makespan;
+      mean_wait;
+      max_wait;
+      mean_slowdown = fsum slowdowns /. float_of_int n;
+      mean_bounded_slowdown = fsum bounded /. float_of_int n;
+      utilization = Schedule.utilization inst sched;
+    }
+  end
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d Cmax=%d wait(mean=%.1f,max=%d) slowdown(mean=%.2f,bounded=%.2f) util=%.3f" s.n
+    s.makespan s.mean_wait s.max_wait s.mean_slowdown s.mean_bounded_slowdown s.utilization
+
+let header =
+  Printf.sprintf "%-8s %6s %10s %8s %8s %10s %6s" "policy" "Cmax" "mean_wait" "max_wait"
+    "slowdn" "bnd_slowdn" "util"
+
+let row ~name s =
+  Printf.sprintf "%-8s %6d %10.1f %8d %8.2f %10.2f %6.3f" name s.makespan s.mean_wait s.max_wait
+    s.mean_slowdown s.mean_bounded_slowdown s.utilization

@@ -1,0 +1,29 @@
+(** Standard batch-scheduling metrics over simulation traces. *)
+
+
+type summary = {
+  n : int;
+  makespan : int;
+  mean_wait : float;  (** Mean of [start − submit]. *)
+  max_wait : int;
+  mean_slowdown : float;  (** Mean of [(wait + p) / p]. *)
+  mean_bounded_slowdown : float;
+      (** Mean of [max 1 ((wait + p) / max p bound)] — the classic metric
+          that stops very short jobs from dominating. *)
+  utilization : float;
+      (** Job work over available processor·time in [\[0, makespan)]. *)
+}
+
+val summarize : ?bound:int -> Simulator.trace -> summary
+(** [bound] (default 10) is the bounded-slowdown runtime threshold. *)
+
+val wait_times : Simulator.trace -> int list
+(** Per-job waits, in submission order. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val header : string
+(** Column header matching {!row}. *)
+
+val row : name:string -> summary -> string
+(** One fixed-width table row, for experiment output. *)

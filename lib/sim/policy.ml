@@ -1,0 +1,125 @@
+open Resa_core
+
+type action = {
+  start_now : Job.t list;
+  wake : int option;
+}
+
+type t = {
+  name : string;
+  decide : time:int -> queue:Job.t list -> free:Profile.t -> action;
+}
+
+let fits free ~time job = Profile.min_on free ~lo:time ~hi:(time + Job.p job) >= Job.q job
+
+let earliest free ~from job =
+  Option.get (Profile.earliest_fit free ~from ~dur:(Job.p job) ~need:(Job.q job))
+
+let fcfs () =
+  let decide ~time ~queue ~free =
+    (* Start the longest startable prefix; the blocked head, if any, yields
+       the next wake-up. *)
+    let rec go free = function
+      | [] -> ([], None)
+      | head :: rest when fits free ~time head ->
+        let free = Profile.reserve free ~start:time ~dur:(Job.p head) ~need:(Job.q head) in
+        let started, wake = go free rest in
+        (head :: started, wake)
+      | head :: _ -> ([], Some (earliest free ~from:(time + 1) head))
+    in
+    let start_now, wake = go free queue in
+    { start_now; wake }
+  in
+  { name = "FCFS"; decide }
+
+let aggressive () =
+  let decide ~time ~queue ~free =
+    let rec go free = function
+      | [] -> []
+      | j :: rest when fits free ~time j ->
+        let free = Profile.reserve free ~start:time ~dur:(Job.p j) ~need:(Job.q j) in
+        j :: go free rest
+      | _ :: rest -> go free rest
+    in
+    { start_now = go free queue; wake = None }
+  in
+  { name = "LSRC"; decide }
+
+let easy () =
+  let decide ~time ~queue ~free =
+    let rec pop_prefix free = function
+      | head :: rest when fits free ~time head ->
+        let free = Profile.reserve free ~start:time ~dur:(Job.p head) ~need:(Job.q head) in
+        let started, wake = pop_prefix free rest in
+        (head :: started, wake)
+      | [] -> ([], None)
+      | head :: rest ->
+        (* Head blocked: protect its guaranteed start while backfilling. *)
+        let guaranteed = earliest free ~from:time head in
+        let rec backfill free = function
+          | [] -> []
+          | j :: tl ->
+            if fits free ~time j then begin
+              let free' = Profile.reserve free ~start:time ~dur:(Job.p j) ~need:(Job.q j) in
+              if earliest free' ~from:time head <= guaranteed then j :: backfill free' tl
+              else backfill free tl
+            end
+            else backfill free tl
+        in
+        (backfill free rest, Some guaranteed)
+    in
+    let start_now, wake = pop_prefix free queue in
+    { start_now; wake }
+  in
+  { name = "EASY"; decide }
+
+let conservative () =
+  let planned : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let plan = ref None (* plan profile, lazily initialised from [free] *) in
+  let decide ~time ~queue ~free =
+    let p = match !plan with None -> free | Some p -> p in
+    (* Plan newly arrived jobs at their earliest non-delaying start. *)
+    let p =
+      List.fold_left
+        (fun p j ->
+          if Hashtbl.mem planned (Job.id j) then p
+          else begin
+            let s = earliest p ~from:time j in
+            Hashtbl.replace planned (Job.id j) s;
+            Profile.reserve p ~start:s ~dur:(Job.p j) ~need:(Job.q j)
+          end)
+        p queue
+    in
+    (* Launch jobs whose planned instant has come; replan stragglers
+       defensively (should not happen when wake-ups are honoured). *)
+    let p = ref p in
+    let start_now =
+      List.filter
+        (fun j ->
+          let s = Hashtbl.find planned (Job.id j) in
+          if s = time then true
+          else if s < time then begin
+            (* Undo the stale window, replan from now. *)
+            p := Profile.change !p ~lo:s ~hi:(s + Job.p j) ~delta:(Job.q j);
+            let s' = earliest !p ~from:time j in
+            Hashtbl.replace planned (Job.id j) s';
+            p := Profile.reserve !p ~start:s' ~dur:(Job.p j) ~need:(Job.q j);
+            s' = time
+          end
+          else false)
+        queue
+    in
+    plan := Some !p;
+    let wake =
+      List.fold_left
+        (fun acc j ->
+          let s = Hashtbl.find planned (Job.id j) in
+          if s > time then Some (match acc with None -> s | Some a -> min a s) else acc)
+        None
+        (List.filter (fun j -> not (List.memq j start_now)) queue)
+    in
+    { start_now; wake }
+  in
+  { name = "CONS"; decide }
+
+let all () = [ fcfs (); conservative (); easy (); aggressive () ]

@@ -1,0 +1,45 @@
+(** Pluggable online scheduling policies for the simulator.
+
+    A policy is consulted at every simulation event. It sees the current
+    time, the submission-ordered queue of waiting jobs, and the forward
+    capacity profile [free] (machine availability minus reservations minus
+    windows of running jobs). It answers with the queued jobs to start right
+    now — each must fit its whole window at the current time — and an
+    optional extra wake-up instant (needed by planning policies whose next
+    action time is not a simulator event).
+
+    Policies are stateful (planning tables); build a fresh value per
+    simulation run. *)
+
+open Resa_core
+
+type action = {
+  start_now : Job.t list;  (** Subset of the queue, to start at [time]. *)
+  wake : int option;  (** Extra decision instant strictly after [time]. *)
+}
+
+type t = {
+  name : string;
+  decide : time:int -> queue:Job.t list -> free:Profile.t -> action;
+}
+
+val fcfs : unit -> t
+(** Strict FCFS: only the queue head may start; it starts at the first
+    instant its whole window fits. *)
+
+val conservative : unit -> t
+(** Conservative backfilling: each job is planned at submission at the
+    earliest start that delays no previously planned job, and starts exactly
+    at its planned time. *)
+
+val easy : unit -> t
+(** EASY backfilling: the head holds a guaranteed earliest start; any other
+    job may start now if that guarantee is not pushed back. *)
+
+val aggressive : unit -> t
+(** List scheduling (LSRC): start every queued job that fits, in queue
+    order. With all jobs submitted at time 0 this reproduces [Lsrc.run]
+    exactly (tested). *)
+
+val all : unit -> t list
+(** Fresh instances of the four policies, in the order above. *)

@@ -1,0 +1,35 @@
+(** Advance-reservation admission under the α cap.
+
+    Production batch systems "impose a limit on the reservation feature to
+    ensure a good behavior of the system" (paper §1.4, §4.2). The book
+    accepts a reservation request only if the total blocked capacity stays
+    within [(1−α)·m] at every instant, which keeps the workload inside
+    α-RESASCHEDULING and therefore inside LSRC's [2/α] guarantee. *)
+
+open Resa_core
+
+type t
+
+type rejection =
+  | Too_wide of { q : int; cap : int }
+      (** The request alone exceeds the per-instant cap. *)
+  | Saturated of { time : int; blocked : int; cap : int }
+      (** Granting it would block more than the cap at [time]. *)
+
+val create : m:int -> alpha:float -> t
+(** Requires [m >= 1] and [alpha ∈ (0, 1]]. *)
+
+val cap : t -> int
+(** The per-instant blocked-capacity budget [⌊(1−α)·m⌋]. *)
+
+val request : t -> start:int -> p:int -> q:int -> (Reservation.t, rejection) result
+(** Grant or reject; granted reservations get consecutive ids and are
+    remembered. *)
+
+val accepted : t -> Reservation.t list
+(** Granted reservations, in grant order. *)
+
+val blocked_profile : t -> Profile.t
+(** Current total blocked capacity over time. *)
+
+val pp_rejection : Format.formatter -> rejection -> unit

@@ -1,0 +1,148 @@
+open Resa_core
+
+type submitted = { job : Job.t; submit : int }
+
+type record = { job : Job.t; submit : int; start : int }
+
+type trace = {
+  m : int;
+  reservations : Reservation.t list;
+  records : record list;
+  makespan : int;
+}
+
+exception Policy_error of string
+
+type event =
+  | Arrival of int (* index into the submission array *)
+  | Completion of int (* job id *)
+  | Wake
+
+let run_estimated ~policy ~m ?(reservations = []) ~estimates (submissions : submitted list) =
+  let subs = Array.of_list submissions in
+  let n = Array.length subs in
+  if Array.length estimates <> n then
+    invalid_arg "Simulator.run_estimated: estimates length mismatch";
+  Array.iteri
+    (fun i (s : submitted) ->
+      if s.submit < 0 then invalid_arg "Simulator.run_estimated: negative submit time";
+      if estimates.(i) < Job.p s.job then
+        invalid_arg "Simulator.run_estimated: estimate below the actual runtime")
+    subs;
+  (* Instance construction validates ids, widths and reservations. *)
+  let base =
+    Instance.create_exn ~m ~jobs:(List.map (fun (s : submitted) -> s.job) submissions)
+      ~reservations
+  in
+  (* Policies see the *estimated* jobs. *)
+  let estimated =
+    Array.mapi
+      (fun i (s : submitted) -> Job.make ~id:(Job.id s.job) ~p:estimates.(i) ~q:(Job.q s.job))
+      subs
+  in
+  let actual_p : (int, int) Hashtbl.t = Hashtbl.create n in
+  let est_p : (int, int) Hashtbl.t = Hashtbl.create n in
+  Array.iteri
+    (fun i (s : submitted) ->
+      Hashtbl.replace actual_p (Job.id s.job) (Job.p s.job);
+      Hashtbl.replace est_p (Job.id s.job) estimates.(i))
+    subs;
+  let events : event Event_heap.t = Event_heap.create () in
+  Array.iteri (fun i (s : submitted) -> Event_heap.push events ~time:s.submit (Arrival i)) subs;
+  (* Reservation edges are decision opportunities for every policy. *)
+  Array.iter
+    (fun t -> Event_heap.push events ~time:t Wake)
+    (Profile.breakpoints (Instance.availability base));
+  let free = ref (Instance.availability base) in
+  let queue = ref [] (* reversed submission order, estimated jobs *) in
+  let starts : (int, int) Hashtbl.t = Hashtbl.create n in
+  let forced = ref false in
+  let width_of : (int, int) Hashtbl.t = Hashtbl.create n in
+  Array.iter (fun j -> Hashtbl.replace width_of (Job.id j) (Job.q j)) estimated;
+  (* Completion of job [id] at [t]: give back the over-reserved tail. *)
+  let release_tail id t =
+    let start = Hashtbl.find starts id in
+    let planned_end = start + Hashtbl.find est_p id in
+    if t < planned_end then
+      free := Profile.change !free ~lo:t ~hi:planned_end ~delta:(Hashtbl.find width_of id)
+  in
+  let rec drain t =
+    match Event_heap.peek_time events with
+    | Some t' when t' = t ->
+      (match Event_heap.pop events with
+      | Some (_, Arrival i) -> queue := estimated.(i) :: !queue
+      | Some (_, Completion id) -> release_tail id t
+      | Some (_, Wake) | None -> ());
+      drain t
+    | _ -> ()
+  in
+  let start_job t j =
+    let est = Hashtbl.find est_p (Job.id j) in
+    if Profile.min_on !free ~lo:t ~hi:(t + est) < Job.q j then
+      raise
+        (Policy_error
+           (Format.asprintf "%s started %a at t=%d without capacity" policy.Policy.name Job.pp j t));
+    free := Profile.reserve !free ~start:t ~dur:est ~need:(Job.q j);
+    Hashtbl.replace starts (Job.id j) t;
+    forced := false;
+    Event_heap.push events ~time:(t + Hashtbl.find actual_p (Job.id j)) (Completion (Job.id j))
+  in
+  let last_t = ref (-1) in
+  let rec loop () =
+    match Event_heap.peek_time events with
+    | None ->
+      if !queue <> [] then
+        if !forced then raise (Policy_error (policy.Policy.name ^ " deadlocked"))
+        else begin
+          (* No event left but jobs wait: past the last breakpoint the whole
+             machine is free, so a correct policy must start them; wake it
+             once. *)
+          forced := true;
+          Event_heap.push events
+            ~time:(max (!last_t + 1) (Profile.last_breakpoint !free))
+            Wake;
+          loop ()
+        end
+    | Some t ->
+      drain t;
+      last_t := t;
+      let q_now = List.rev !queue in
+      let action = policy.Policy.decide ~time:t ~queue:q_now ~free:!free in
+      let start_now = action.Policy.start_now and wake = action.Policy.wake in
+      List.iter
+        (fun j ->
+          if not (List.exists (fun qj -> Job.id qj = Job.id j) q_now) then
+            raise
+              (Policy_error
+                 (Format.asprintf "%s started %a which is not queued" policy.Policy.name Job.pp j)))
+        start_now;
+      List.iter (fun j -> start_job t j) start_now;
+      queue :=
+        List.filter (fun j -> not (List.exists (fun s -> Job.id s = Job.id j) start_now)) !queue;
+      (match wake with
+      | Some w when w > t -> Event_heap.push events ~time:w Wake
+      | Some _ | None -> ());
+      loop ()
+  in
+  loop ();
+  let records =
+    Array.to_list subs
+    |> List.map (fun (s : submitted) ->
+           { job = s.job; submit = s.submit; start = Hashtbl.find starts (Job.id s.job) })
+  in
+  let makespan = List.fold_left (fun acc r -> max acc (r.start + Job.p r.job)) 0 records in
+  { m; reservations; records; makespan }
+
+let run ~policy ~m ?(reservations = []) (submissions : submitted list) =
+  let estimates =
+    Array.of_list (List.map (fun (s : submitted) -> Job.p s.job) submissions)
+  in
+  run_estimated ~policy ~m ~reservations ~estimates submissions
+
+let to_offline trace =
+  let jobs =
+    List.mapi (fun i r -> Job.make ~id:i ~p:(Job.p r.job) ~q:(Job.q r.job)) trace.records
+  in
+  let inst = Instance.create_exn ~m:trace.m ~jobs ~reservations:trace.reservations in
+  let starts = Array.of_list (List.map (fun r -> r.start) trace.records) in
+  (inst, Schedule.make starts)

@@ -1,0 +1,53 @@
+(** Event-driven online cluster simulator.
+
+    The production-system substrate (DESIGN.md §5): jobs are submitted over
+    time to a cluster of [m] processors with a fixed set of advance
+    reservations; a pluggable {!Policy.t} decides starts. The simulation is
+    deterministic: events at equal instants are processed in insertion
+    order, queues are kept in submission order.
+
+    Soundness is enforced, not assumed: every start requested by a policy is
+    checked against the capacity profile, and the finished trace converts to
+    an [Instance.t]/[Schedule.t] pair that [Schedule.validate] accepts
+    (tested). *)
+
+open Resa_core
+
+type submitted = { job : Job.t; submit : int }
+
+type record = { job : Job.t; submit : int; start : int }
+
+type trace = {
+  m : int;
+  reservations : Reservation.t list;
+  records : record list;  (** In submission order. *)
+  makespan : int;
+}
+
+exception Policy_error of string
+(** Raised when a policy starts a job that does not fit, starts a job not in
+    the queue, or deadlocks (never starts a startable queue). *)
+
+val run :
+  policy:Policy.t -> m:int -> ?reservations:Reservation.t list -> submitted list -> trace
+(** Simulate to completion. Jobs must have distinct ids, [q <= m] and
+    non-negative submit times; reservations must fit the machine. *)
+
+val run_estimated :
+  policy:Policy.t ->
+  m:int ->
+  ?reservations:Reservation.t list ->
+  estimates:int array ->
+  submitted list ->
+  trace
+(** Like {!run}, but jobs carry a *requested* walltime [estimates.(i) >=
+    actual p] (one per submission, in order): policies see and plan with the
+    estimate, the job actually completes after its true runtime, and the
+    capacity reserved for the unused tail is released at completion — the
+    mechanism behind backfilling's well-known sensitivity to user walltime
+    overestimation. [run] is the special case [estimates = actual]. The
+    returned records carry the *actual* jobs. *)
+
+val to_offline : trace -> Instance.t * Schedule.t
+(** Forget release dates: the instance/schedule pair actually executed,
+    ready for validation, Gantt rendering or ratio measurements. *)

@@ -1,0 +1,54 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let variance xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let mu = mean xs in
+    List.fold_left (fun acc x -> acc +. ((x -. mu) *. (x -. mu))) 0.0 xs
+    /. float_of_int (List.length xs)
+
+let stddev xs = sqrt (variance xs)
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty list"
+  | x :: xs -> List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) xs
+
+let percentile xs ~p =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | _ ->
+    if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+    let sorted = List.sort Float.compare xs in
+    let n = List.length sorted in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    List.nth sorted (max 0 (min (n - 1) (rank - 1)))
+
+let median xs = percentile xs ~p:50.0
+
+let histogram ~bins xs =
+  if bins < 1 then invalid_arg "Stats.histogram: bins must be >= 1";
+  match xs with
+  | [] -> []
+  | _ ->
+    let lo, hi = min_max xs in
+    let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+    let counts = Array.make bins 0 in
+    List.iter
+      (fun x ->
+        let b = int_of_float ((x -. lo) /. width) in
+        let b = max 0 (min (bins - 1) b) in
+        counts.(b) <- counts.(b) + 1)
+      xs;
+    List.init bins (fun b ->
+        (lo +. (float_of_int b *. width), lo +. (float_of_int (b + 1) *. width), counts.(b)))
+
+let summary_line xs =
+  match xs with
+  | [] -> "n=0"
+  | _ ->
+    let lo, hi = min_max xs in
+    Printf.sprintf "n=%d mean=%.3f std=%.3f min=%.3f p50=%.3f max=%.3f" (List.length xs)
+      (mean xs) (stddev xs) lo (median xs) hi

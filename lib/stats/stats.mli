@@ -1,0 +1,23 @@
+(** Small statistics toolkit used by the benchmark harness. *)
+
+val mean : float list -> float
+(** 0 on the empty list. *)
+
+val variance : float list -> float
+(** Population variance; 0 on lists shorter than 2. *)
+
+val stddev : float list -> float
+
+val min_max : float list -> float * float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val percentile : float list -> p:float -> float
+(** Nearest-rank percentile, [p ∈ [0, 100]]. Raises on the empty list. *)
+
+val median : float list -> float
+
+val histogram : bins:int -> float list -> (float * float * int) list
+(** Equal-width bins [(lo, hi, count)] spanning the data range. *)
+
+val summary_line : float list -> string
+(** "n=… mean=… std=… min=… p50=… max=…" *)

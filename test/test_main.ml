@@ -1,0 +1,27 @@
+(* Test runner: every suite of the repository. *)
+
+let () =
+  Alcotest.run "resa"
+    [
+      ("prng", Test_prng.suite);
+      ("profile", Test_profile.suite);
+      ("core-types", Test_core_types.suite);
+      ("priority", Test_priority.suite);
+      ("lsrc", Test_lsrc.suite);
+      ("fcfs", Test_fcfs.suite);
+      ("backfill", Test_backfill.suite);
+      ("shelf", Test_shelf.suite);
+      ("online", Test_online.suite);
+      ("preemptive", Test_preemptive.suite);
+      ("exact", Test_exact.suite);
+      ("single-machine", Test_single_machine.suite);
+      ("graham", Test_graham.suite);
+      ("ratio-bounds", Test_ratio_bounds.suite);
+      ("transform", Test_transform.suite);
+      ("anomaly", Test_anomaly.suite);
+      ("generators", Test_gen.suite);
+      ("simulator", Test_sim.suite);
+      ("swf", Test_swf.suite);
+      ("stats", Test_stats.suite);
+      ("instance-io", Test_io.suite);
+    ]

@@ -1,0 +1,97 @@
+open Resa_core
+open Resa_algos
+
+let test_all_released_at_zero_single_batch () =
+  let inst = Instance.of_sizes ~m:4 [ (2, 2); (3, 1); (1, 4) ] in
+  let r = Online.run inst ~release:[| 0; 0; 0 |] in
+  Alcotest.(check int) "one batch" 1 (List.length r.batches);
+  (* Equal to plain offline LSRC. *)
+  let offline = Lsrc.run inst in
+  Alcotest.(check int) "same makespan as offline"
+    (Schedule.makespan inst offline)
+    (Schedule.makespan inst r.schedule)
+
+let test_release_dates_respected () =
+  let inst = Instance.of_sizes ~m:4 [ (2, 2); (3, 1); (1, 4) ] in
+  let release = [| 0; 5; 9 |] in
+  let r = Online.run inst ~release in
+  Array.iteri
+    (fun i rel ->
+      Alcotest.(check bool)
+        (Printf.sprintf "job %d not before release" i)
+        true
+        (Schedule.start r.schedule i >= rel))
+    release
+
+let test_batches_do_not_overlap () =
+  let inst = Instance.of_sizes ~m:2 [ (4, 2); (4, 2); (4, 2) ] in
+  let r = Online.run inst ~release:[| 0; 1; 5 |] in
+  (* Batch k+1 launches only after batch k completed. *)
+  let rec check = function
+    | (s1 : int) :: (s2 :: _ as rest) ->
+      Alcotest.(check bool) "launch times increase" true (s1 < s2);
+      check rest
+    | _ -> ()
+  in
+  check r.batch_starts
+
+let test_doubling_guarantee_example () =
+  (* Offline optimum for all-at-zero is a lower bound for any release dates;
+     the batch algorithm is 2·(2−1/m)-competitive against it plus the last
+     release. Just check feasibility and a sane bound here. *)
+  let inst = Instance.of_sizes ~m:3 [ (3, 2); (2, 1); (4, 3); (1, 2) ] in
+  let release = [| 0; 2; 3; 7 |] in
+  let r = Online.run inst ~release in
+  Tutil.check_feasible "online schedule" inst r.schedule;
+  let opt0 = (Resa_exact.Bnb.solve inst).makespan in
+  let bound = (2.0 *. 2.0 *. float_of_int opt0) +. float_of_int (Array.fold_left max 0 release) in
+  Alcotest.(check bool) "coarse competitive bound" true
+    (float_of_int (Schedule.makespan inst r.schedule) <= bound)
+
+let test_reservations_respected_across_batches () =
+  let inst = Instance.of_sizes ~m:2 ~reservations:[ (3, 4, 2) ] [ (2, 1); (2, 2) ] in
+  let r = Online.run inst ~release:[| 0; 4 |] in
+  Tutil.check_feasible "online with reservations" inst r.schedule
+
+let test_bad_release_rejected () =
+  let inst = Instance.of_sizes ~m:2 [ (1, 1) ] in
+  Alcotest.check_raises "negative release"
+    (Invalid_argument "Online.run: negative release date") (fun () ->
+      ignore (Online.run inst ~release:[| -1 |]));
+  Alcotest.check_raises "wrong length" (Invalid_argument "Online.run: release length mismatch")
+    (fun () -> ignore (Online.run inst ~release:[| 0; 0 |]))
+
+let prop_feasible_and_released =
+  Tutil.qcheck ~count:150 "online schedules feasible, releases respected"
+    QCheck.(pair Tutil.seed_arb Tutil.seed_arb)
+    (fun (s1, s2) ->
+      let inst = Tutil.small_resa_of_seed s1 in
+      let rng = Prng.create ~seed:s2 in
+      let release = Array.init (Instance.n_jobs inst) (fun _ -> Prng.int rng ~bound:15) in
+      let r = Online.run inst ~release in
+      Schedule.is_feasible inst r.schedule
+      && Array.for_all
+           (fun i -> Schedule.start r.schedule i >= release.(i))
+           (Array.init (Instance.n_jobs inst) Fun.id))
+
+let prop_batches_partition_jobs =
+  Tutil.qcheck "batches partition the job set" QCheck.(pair Tutil.seed_arb Tutil.seed_arb)
+    (fun (s1, s2) ->
+      let inst = Tutil.small_resa_of_seed s1 in
+      let rng = Prng.create ~seed:s2 in
+      let release = Array.init (Instance.n_jobs inst) (fun _ -> Prng.int rng ~bound:10) in
+      let r = Online.run inst ~release in
+      List.sort Int.compare (List.concat r.batches)
+      = List.init (Instance.n_jobs inst) Fun.id)
+
+let suite =
+  [
+    Alcotest.test_case "single batch when all released at 0" `Quick test_all_released_at_zero_single_batch;
+    Alcotest.test_case "release dates respected" `Quick test_release_dates_respected;
+    Alcotest.test_case "batches are sequential" `Quick test_batches_do_not_overlap;
+    Alcotest.test_case "coarse doubling bound" `Quick test_doubling_guarantee_example;
+    Alcotest.test_case "reservations respected across batches" `Quick test_reservations_respected_across_batches;
+    Alcotest.test_case "bad inputs rejected" `Quick test_bad_release_rejected;
+    prop_feasible_and_released;
+    prop_batches_partition_jobs;
+  ]

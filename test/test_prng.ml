@@ -1,0 +1,143 @@
+open Resa_core
+
+let test_determinism () =
+  let a = Prng.create ~seed:123 and b = Prng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let distinct = ref false in
+  for _ = 1 to 10 do
+    if Prng.bits64 a <> Prng.bits64 b then distinct := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !distinct
+
+let test_int_range () =
+  let g = Prng.create ~seed:9 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g ~bound:7 in
+    if v < 0 || v >= 7 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_int_incl_range () =
+  let g = Prng.create ~seed:10 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_incl g ~lo:(-3) ~hi:4 in
+    if v < -3 || v > 4 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_int_incl_degenerate () =
+  let g = Prng.create ~seed:11 in
+  Alcotest.(check int) "lo=hi" 5 (Prng.int_incl g ~lo:5 ~hi:5)
+
+let test_int_covers_all_values () =
+  let g = Prng.create ~seed:12 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 2000 do
+    seen.(Prng.int g ~bound:5) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let g = Prng.create ~seed:13 in
+  for _ = 1 to 1000 do
+    let v = Prng.float g ~bound:2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "out of range: %f" v
+  done
+
+let test_bool_both () =
+  let g = Prng.create ~seed:14 in
+  let t = ref false and f = ref false in
+  for _ = 1 to 200 do
+    if Prng.bool g then t := true else f := true
+  done;
+  Alcotest.(check bool) "both outcomes" true (!t && !f)
+
+let test_shuffle_permutation () =
+  let g = Prng.create ~seed:15 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_copy_independent () =
+  let g = Prng.create ~seed:16 in
+  let _ = Prng.bits64 g in
+  let h = Prng.copy g in
+  Alcotest.(check int64) "copy continues identically" (Prng.bits64 g) (Prng.bits64 h)
+
+let test_split_independent () =
+  let g = Prng.create ~seed:17 in
+  let h = Prng.split g in
+  (* The split stream must not simply mirror the parent. *)
+  let same = ref true in
+  for _ = 1 to 5 do
+    if Prng.bits64 g <> Prng.bits64 h then same := false
+  done;
+  Alcotest.(check bool) "split differs from parent" false !same
+
+let test_exponential_positive () =
+  let g = Prng.create ~seed:18 in
+  for _ = 1 to 500 do
+    if Prng.exponential g ~mean:3.0 < 0.0 then Alcotest.fail "negative sample"
+  done
+
+let test_exponential_mean () =
+  let g = Prng.create ~seed:19 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.exponential g ~mean:5.0
+  done;
+  let mu = !sum /. float_of_int n in
+  if mu < 4.5 || mu > 5.5 then Alcotest.failf "mean %.3f too far from 5" mu
+
+let test_log_uniform_bounds () =
+  let g = Prng.create ~seed:20 in
+  for _ = 1 to 1000 do
+    let v = Prng.log_uniform_int g ~lo:2 ~hi:1000 in
+    if v < 2 || v > 1000 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_log_uniform_skew () =
+  (* Log-uniform over [1, 1024] should put roughly half the mass below 32. *)
+  let g = Prng.create ~seed:21 in
+  let n = 10_000 in
+  let below = ref 0 in
+  for _ = 1 to n do
+    if Prng.log_uniform_int g ~lo:1 ~hi:1024 <= 32 then incr below
+  done;
+  let frac = float_of_int !below /. float_of_int n in
+  if frac < 0.35 || frac > 0.65 then Alcotest.failf "low-half mass %.3f not near 0.5" frac
+
+let test_invalid_args () =
+  let g = Prng.create ~seed:22 in
+  Alcotest.check_raises "int bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g ~bound:0));
+  Alcotest.check_raises "int_incl inverted" (Invalid_argument "Prng.int_incl: lo > hi") (fun () ->
+      ignore (Prng.int_incl g ~lo:3 ~hi:2));
+  Alcotest.check_raises "choose empty" (Invalid_argument "Prng.choose: empty array") (fun () ->
+      ignore (Prng.choose g [||]))
+
+let suite =
+  [
+    Alcotest.test_case "same seed, same stream" `Quick test_determinism;
+    Alcotest.test_case "different seeds differ" `Quick test_seed_sensitivity;
+    Alcotest.test_case "int stays in range" `Quick test_int_range;
+    Alcotest.test_case "int_incl stays in range" `Quick test_int_incl_range;
+    Alcotest.test_case "int_incl degenerate range" `Quick test_int_incl_degenerate;
+    Alcotest.test_case "int covers all values" `Quick test_int_covers_all_values;
+    Alcotest.test_case "float stays in range" `Quick test_float_range;
+    Alcotest.test_case "bool produces both values" `Quick test_bool_both;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutation;
+    Alcotest.test_case "copy is an exact clone" `Quick test_copy_independent;
+    Alcotest.test_case "split decorrelates" `Quick test_split_independent;
+    Alcotest.test_case "exponential is non-negative" `Quick test_exponential_positive;
+    Alcotest.test_case "exponential has the right mean" `Slow test_exponential_mean;
+    Alcotest.test_case "log_uniform_int stays in bounds" `Quick test_log_uniform_bounds;
+    Alcotest.test_case "log_uniform_int is log-skewed" `Slow test_log_uniform_skew;
+    Alcotest.test_case "invalid arguments are rejected" `Quick test_invalid_args;
+  ]

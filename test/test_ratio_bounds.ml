@@ -1,0 +1,82 @@
+open Resa_analysis
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_upper_bound () =
+  feq "alpha=1" 2.0 (Ratio_bounds.upper_bound ~alpha:1.0);
+  feq "alpha=0.5" 4.0 (Ratio_bounds.upper_bound ~alpha:0.5);
+  feq "alpha=0.25" 8.0 (Ratio_bounds.upper_bound ~alpha:0.25)
+
+let test_prop2_value () =
+  (* k = 2/alpha: ratio = k − 1 + 1/k. *)
+  feq "alpha=2/3 (k=3)" (3.0 -. 1.0 +. (1.0 /. 3.0)) (Ratio_bounds.prop2_value ~alpha:(2.0 /. 3.0));
+  feq "alpha=1/3 (k=6)" (6.0 -. 1.0 +. (1.0 /. 6.0)) (Ratio_bounds.prop2_value ~alpha:(1.0 /. 3.0))
+
+let test_b1_matches_prop2_at_even_points () =
+  (* When 2/alpha is an integer, B1 = 2/alpha − 1 + alpha/2. *)
+  List.iter
+    (fun k ->
+      let alpha = 2.0 /. float_of_int k in
+      feq (Printf.sprintf "k=%d" k) (Ratio_bounds.prop2_value ~alpha) (Ratio_bounds.b1 ~alpha))
+    [ 2; 3; 4; 5; 8; 10 ]
+
+let test_b2_below_b1 () =
+  List.iter
+    (fun alpha ->
+      let b1 = Ratio_bounds.b1 ~alpha and b2 = Ratio_bounds.b2 ~alpha in
+      if b2 > b1 +. 1e-9 then Alcotest.failf "B2 %.4f > B1 %.4f at alpha=%.3f" b2 b1 alpha)
+    [ 0.1; 0.15; 0.2; 0.3; 0.33; 0.4; 0.5; 0.6; 0.66; 0.75; 0.9; 1.0 ]
+
+let test_bounds_below_upper () =
+  List.iter
+    (fun alpha ->
+      let ub = Ratio_bounds.upper_bound ~alpha in
+      if Ratio_bounds.b1 ~alpha > ub +. 1e-9 then
+        Alcotest.failf "B1 above the upper bound at alpha=%.3f" alpha)
+    [ 0.05; 0.1; 0.2; 0.25; 0.33; 0.5; 0.66; 0.8; 1.0 ]
+
+let test_b2_closed_form () =
+  (* alpha = 0.5: ceil(4) = 4, B2 = 4 − 3/4. *)
+  feq "alpha=0.5" 3.25 (Ratio_bounds.b2 ~alpha:0.5);
+  (* alpha = 0.4: 2/α = 5, B2 = 5 − 4/5. *)
+  feq "alpha=0.4" 4.2 (Ratio_bounds.b2 ~alpha:0.4)
+
+let test_graham_prop1 () =
+  feq "graham m=1" 1.0 (Ratio_bounds.graham ~m:1);
+  feq "graham m=4" 1.75 (Ratio_bounds.graham ~m:4);
+  feq "prop1 m(C_opt)=2" 1.5 (Ratio_bounds.prop1_bound ~m_at_opt:2)
+
+let test_figure4_rows () =
+  let rows = Ratio_bounds.figure4_rows ~alphas:[ 0.5; 1.0 ] in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  let a, ub, b1, b2 = List.hd rows in
+  feq "alpha" 0.5 a;
+  feq "ub" 4.0 ub;
+  feq "b1 at 0.5" (Ratio_bounds.prop2_value ~alpha:0.5) b1;
+  feq "b2 at 0.5" 3.25 b2
+
+let test_alpha_validation () =
+  Alcotest.check_raises "alpha 0" (Invalid_argument "Ratio_bounds: alpha must be in (0,1]")
+    (fun () -> ignore (Ratio_bounds.upper_bound ~alpha:0.0));
+  Alcotest.check_raises "alpha > 1" (Invalid_argument "Ratio_bounds: alpha must be in (0,1]")
+    (fun () -> ignore (Ratio_bounds.b1 ~alpha:1.5))
+
+let prop_gap_shrinks_with_alpha =
+  (* Figure 4's visual claim: upper and lower bounds stay within 1 + α/2 of
+     each other — in particular the gap B1..2/α never exceeds 1.5. *)
+  Tutil.qcheck "upper/lower gap is small" QCheck.(float_range 0.05 1.0) (fun alpha ->
+      Ratio_bounds.upper_bound ~alpha -. Ratio_bounds.b1 ~alpha <= 1.5 +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "upper bound 2/alpha" `Quick test_upper_bound;
+    Alcotest.test_case "Prop 2 value" `Quick test_prop2_value;
+    Alcotest.test_case "B1 matches Prop 2 at alpha=2/k" `Quick test_b1_matches_prop2_at_even_points;
+    Alcotest.test_case "B2 <= B1" `Quick test_b2_below_b1;
+    Alcotest.test_case "lower bounds below upper bound" `Quick test_bounds_below_upper;
+    Alcotest.test_case "B2 closed form" `Quick test_b2_closed_form;
+    Alcotest.test_case "Graham and Prop 1 values" `Quick test_graham_prop1;
+    Alcotest.test_case "Figure 4 rows" `Quick test_figure4_rows;
+    Alcotest.test_case "alpha validation" `Quick test_alpha_validation;
+    prop_gap_shrinks_with_alpha;
+  ]

@@ -1,0 +1,366 @@
+(* Event heap, simulator, policies, metrics, reservation book. *)
+
+open Resa_core
+open Resa_sim
+
+(* --- event heap --- *)
+
+let test_heap_ordering () =
+  let h = Event_heap.create () in
+  List.iter (fun (t, v) -> Event_heap.push h ~time:t v) [ (5, "e"); (1, "a"); (3, "c"); (1, "b") ];
+  let pop () = match Event_heap.pop h with Some (t, v) -> (t, v) | None -> (-1, "?") in
+  Alcotest.(check (pair int string)) "first" (1, "a") (pop ());
+  Alcotest.(check (pair int string)) "fifo on ties" (1, "b") (pop ());
+  Alcotest.(check (pair int string)) "third" (3, "c") (pop ());
+  Alcotest.(check (pair int string)) "last" (5, "e") (pop ());
+  Alcotest.(check bool) "empty" true (Event_heap.is_empty h)
+
+let test_heap_interleaved () =
+  let h = Event_heap.create () in
+  Event_heap.push h ~time:10 0;
+  Event_heap.push h ~time:2 1;
+  Alcotest.(check (option int)) "peek" (Some 2) (Event_heap.peek_time h);
+  ignore (Event_heap.pop h);
+  Event_heap.push h ~time:1 2;
+  Alcotest.(check (option int)) "re-peek" (Some 1) (Event_heap.peek_time h);
+  Alcotest.(check int) "size" 2 (Event_heap.size h)
+
+let test_heap_rejects_negative () =
+  let h = Event_heap.create () in
+  Alcotest.check_raises "negative time" (Invalid_argument "Event_heap.push: negative time")
+    (fun () -> Event_heap.push h ~time:(-1) ())
+
+let prop_heap_sorts =
+  Tutil.qcheck "heap pops in non-decreasing time order" QCheck.(list small_nat) (fun times ->
+      let h = Event_heap.create () in
+      List.iter (fun t -> Event_heap.push h ~time:t ()) times;
+      let rec drain prev =
+        match Event_heap.pop h with
+        | None -> true
+        | Some (t, ()) -> t >= prev && drain t
+      in
+      drain 0)
+
+(* --- simulator + policies --- *)
+
+let submit_all_at inst t0 =
+  List.init (Instance.n_jobs inst) (fun i ->
+      Simulator.{ job = Instance.job inst i; submit = t0 })
+
+let test_aggressive_equals_offline_lsrc () =
+  (* With everything submitted at 0, the aggressive policy IS LSRC. *)
+  let rng = Prng.create ~seed:31 in
+  for _ = 1 to 10 do
+    let inst = Resa_gen.Random_inst.alpha_restricted rng ~m:8 ~n:10 ~alpha:0.5 ~pmax:6 () in
+    let trace =
+      Simulator.run ~policy:(Policy.aggressive ()) ~m:8
+        ~reservations:(Array.to_list (Instance.reservations inst))
+        (submit_all_at inst 0)
+    in
+    let offline = Resa_algos.Lsrc.run inst in
+    let starts_sim = List.map (fun (r : Simulator.record) -> r.start) trace.records in
+    Alcotest.(check (list int)) "identical starts"
+      (Array.to_list (Schedule.starts offline))
+      starts_sim
+  done
+
+let test_fcfs_policy_order () =
+  (* FCFS online: narrow job behind wide head must wait. *)
+  let jobs = [ (2, 3); (2, 2); (2, 1) ] in
+  let inst = Instance.of_sizes ~m:4 jobs in
+  let trace = Simulator.run ~policy:(Policy.fcfs ()) ~m:4 (submit_all_at inst 0) in
+  let starts = List.map (fun (r : Simulator.record) -> r.start) trace.records in
+  Alcotest.(check (list int)) "strict order" [ 0; 2; 2 ] starts
+
+let test_arrival_order_respected () =
+  (* A job cannot start before it is submitted, whatever the policy. *)
+  let subs =
+    [
+      Simulator.{ job = Job.make ~id:0 ~p:2 ~q:1; submit = 0 };
+      Simulator.{ job = Job.make ~id:1 ~p:2 ~q:1; submit = 7 };
+    ]
+  in
+  List.iter
+    (fun policy ->
+      let trace = Simulator.run ~policy ~m:4 subs in
+      List.iter
+        (fun (r : Simulator.record) ->
+          if r.start < r.submit then
+            Alcotest.failf "%s started a job before submission" policy.Policy.name)
+        trace.records)
+    (Policy.all ())
+
+let test_policies_feasible_with_reservations () =
+  let rng = Prng.create ~seed:32 in
+  let inst = Resa_gen.Random_inst.alpha_restricted rng ~m:12 ~n:15 ~alpha:0.5 ~pmax:8 () in
+  let arrivals = Resa_gen.Arrivals.poisson rng ~n:15 ~mean_gap:3.0 in
+  let subs =
+    List.init 15 (fun i -> Simulator.{ job = Instance.job inst i; submit = arrivals.(i) })
+  in
+  List.iter
+    (fun policy ->
+      let trace =
+        Simulator.run ~policy ~m:12
+          ~reservations:(Array.to_list (Instance.reservations inst))
+          subs
+      in
+      let off_inst, off_sched = Simulator.to_offline trace in
+      match Schedule.validate off_inst off_sched with
+      | Ok () -> ()
+      | Error v ->
+        Alcotest.failf "%s produced an infeasible execution: %a" policy.Policy.name
+          Schedule.pp_violation v)
+    (Policy.all ())
+
+let test_conservative_policy_plans_hold () =
+  (* Deterministic example: plans must not shift when later jobs arrive. *)
+  let subs =
+    [
+      Simulator.{ job = Job.make ~id:0 ~p:4 ~q:4; submit = 0 };
+      Simulator.{ job = Job.make ~id:1 ~p:4 ~q:4; submit = 1 };
+      Simulator.{ job = Job.make ~id:2 ~p:1 ~q:1; submit = 2 };
+    ]
+  in
+  let trace = Simulator.run ~policy:(Policy.conservative ()) ~m:4 subs in
+  let starts = List.map (fun (r : Simulator.record) -> r.start) trace.records in
+  (* j1 planned at 4; j2 (narrow, short) backfills nowhere before 4 on a full
+     machine, so it lands at 8. *)
+  Alcotest.(check (list int)) "planned starts" [ 0; 4; 8 ] starts
+
+let test_easy_policy_backfills () =
+  let subs =
+    [
+      Simulator.{ job = Job.make ~id:0 ~p:4 ~q:3; submit = 0 };
+      Simulator.{ job = Job.make ~id:1 ~p:4 ~q:4; submit = 0 };
+      Simulator.{ job = Job.make ~id:2 ~p:4 ~q:1; submit = 0 };
+    ]
+  in
+  let trace = Simulator.run ~policy:(Policy.easy ()) ~m:4 subs in
+  let starts = List.map (fun (r : Simulator.record) -> r.start) trace.records in
+  (* j2 ends exactly at the head's guaranteed start (4): allowed. *)
+  Alcotest.(check (list int)) "backfilled" [ 0; 4; 0 ] starts
+
+let test_policy_error_on_rogue_policy () =
+  let rogue =
+    Policy.
+      {
+        name = "ROGUE";
+        decide =
+          (fun ~time:_ ~queue ~free:_ ->
+            (* Start everything unconditionally: must violate capacity. *)
+            { start_now = queue; wake = None });
+      }
+  in
+  let subs =
+    [
+      Simulator.{ job = Job.make ~id:0 ~p:2 ~q:2; submit = 0 };
+      Simulator.{ job = Job.make ~id:1 ~p:2 ~q:2; submit = 0 };
+    ]
+  in
+  match Simulator.run ~policy:rogue ~m:2 subs with
+  | exception Simulator.Policy_error _ -> ()
+  | _ -> Alcotest.fail "capacity violation not caught"
+
+let test_simulator_rejects_bad_input () =
+  let subs = [ Simulator.{ job = Job.make ~id:0 ~p:1 ~q:5 ; submit = 0 } ] in
+  match Simulator.run ~policy:(Policy.fcfs ()) ~m:2 subs with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "oversized job accepted"
+
+let prop_all_policies_sound =
+  Tutil.qcheck ~count:60 "all policies produce feasible executions"
+    QCheck.(pair Tutil.seed_arb Tutil.seed_arb)
+    (fun (s1, s2) ->
+      let rng = Prng.create ~seed:s1 in
+      let inst = Resa_gen.Random_inst.alpha_restricted rng ~m:8 ~n:8 ~alpha:0.5 ~pmax:5 () in
+      let arr = Resa_gen.Arrivals.uniform (Prng.create ~seed:s2) ~n:8 ~horizon:20 in
+      let subs =
+        List.init 8 (fun i -> Simulator.{ job = Instance.job inst i; submit = arr.(i) })
+      in
+      List.for_all
+        (fun policy ->
+          let trace =
+            Simulator.run ~policy ~m:8
+              ~reservations:(Array.to_list (Instance.reservations inst))
+              subs
+          in
+          let oi, os = Simulator.to_offline trace in
+          Schedule.is_feasible oi os
+          && List.for_all (fun (r : Simulator.record) -> r.start >= r.submit) trace.records)
+        (Policy.all ()))
+
+(* --- metrics --- *)
+
+let test_metrics_values () =
+  let subs =
+    [
+      Simulator.{ job = Job.make ~id:0 ~p:4 ~q:2; submit = 0 };
+      Simulator.{ job = Job.make ~id:1 ~p:2 ~q:2; submit = 0 };
+    ]
+  in
+  let trace = Simulator.run ~policy:(Policy.fcfs ()) ~m:2 subs in
+  let s = Metrics.summarize trace in
+  Alcotest.(check int) "n" 2 s.n;
+  Alcotest.(check int) "makespan" 6 s.makespan;
+  (* j0 waits 0; j1 waits 4. *)
+  Alcotest.(check (float 1e-9)) "mean wait" 2.0 s.mean_wait;
+  Alcotest.(check int) "max wait" 4 s.max_wait;
+  (* slowdowns: 1 and (4+2)/2 = 3. *)
+  Alcotest.(check (float 1e-9)) "mean slowdown" 2.0 s.mean_slowdown;
+  (* utilization: work 12 over 2*6. *)
+  Alcotest.(check (float 1e-9)) "utilization" 1.0 s.utilization
+
+let test_metrics_empty () =
+  let trace = Simulator.run ~policy:(Policy.fcfs ()) ~m:2 [] in
+  let s = Metrics.summarize trace in
+  Alcotest.(check int) "empty" 0 s.n
+
+let test_bounded_slowdown_bound () =
+  (* Very short job with a long wait: bounded slowdown caps the explosion. *)
+  let subs =
+    [
+      Simulator.{ job = Job.make ~id:0 ~p:100 ~q:2; submit = 0 };
+      Simulator.{ job = Job.make ~id:1 ~p:1 ~q:2; submit = 0 };
+    ]
+  in
+  let trace = Simulator.run ~policy:(Policy.fcfs ()) ~m:2 subs in
+  let s = Metrics.summarize ~bound:10 trace in
+  Alcotest.(check bool) "raw slowdown explodes" true (s.mean_slowdown > 50.0);
+  Alcotest.(check bool) "bounded slowdown tamed" true (s.mean_bounded_slowdown < 10.0)
+
+(* --- reservation book --- *)
+
+let test_book_accepts_within_cap () =
+  let book = Reservation_book.create ~m:10 ~alpha:0.6 in
+  Alcotest.(check int) "cap" 4 (Reservation_book.cap book);
+  (match Reservation_book.request book ~start:0 ~p:5 ~q:3 with
+  | Ok r -> Alcotest.(check int) "id 0" 0 (Reservation.id r)
+  | Error e -> Alcotest.failf "rejected: %a" Reservation_book.pp_rejection e);
+  match Reservation_book.request book ~start:10 ~p:5 ~q:4 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "disjoint window rejected: %a" Reservation_book.pp_rejection e
+
+let test_book_rejects_too_wide () =
+  let book = Reservation_book.create ~m:10 ~alpha:0.6 in
+  match Reservation_book.request book ~start:0 ~p:1 ~q:5 with
+  | Error (Reservation_book.Too_wide { q = 5; cap = 4 }) -> ()
+  | _ -> Alcotest.fail "too-wide request accepted"
+
+let test_book_rejects_saturation () =
+  let book = Reservation_book.create ~m:10 ~alpha:0.6 in
+  (match Reservation_book.request book ~start:0 ~p:10 ~q:3 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "first rejected");
+  match Reservation_book.request book ~start:5 ~p:10 ~q:2 with
+  | Error (Reservation_book.Saturated _) -> ()
+  | _ -> Alcotest.fail "saturating request accepted"
+
+let test_book_keeps_alpha_restriction () =
+  (* Whatever is granted, the resulting instance stays alpha-restricted. *)
+  let rng = Prng.create ~seed:77 in
+  let book = Reservation_book.create ~m:16 ~alpha:0.5 in
+  for _ = 1 to 50 do
+    ignore
+      (Reservation_book.request book
+         ~start:(Prng.int rng ~bound:40)
+         ~p:(Prng.int_incl rng ~lo:1 ~hi:10)
+         ~q:(Prng.int_incl rng ~lo:1 ~hi:10))
+  done;
+  let inst =
+    Instance.create_exn ~m:16
+      ~jobs:[ Job.make ~id:0 ~p:1 ~q:8 ]
+      ~reservations:(Reservation_book.accepted book)
+  in
+  Alcotest.(check bool) "alpha-restricted" true (Instance.is_alpha_restricted inst ~alpha:0.5)
+
+(* --- walltime estimates --- *)
+
+let test_estimated_equals_exact_when_accurate () =
+  let rng = Prng.create ~seed:51 in
+  let inst = Resa_gen.Random_inst.cluster_workload rng ~m:8 ~n:12 ~max_runtime:20 in
+  let subs = submit_all_at inst 0 in
+  let estimates = Array.init 12 (fun i -> Job.p (Instance.job inst i)) in
+  List.iter
+    (fun make_policy ->
+      let a = Simulator.run ~policy:(make_policy ()) ~m:8 subs in
+      let b = Simulator.run_estimated ~policy:(make_policy ()) ~m:8 ~estimates subs in
+      List.iter2
+        (fun (ra : Simulator.record) (rb : Simulator.record) ->
+          Alcotest.(check int) "same start" ra.start rb.start)
+        a.records b.records)
+    [ Policy.fcfs; Policy.easy; Policy.conservative; Policy.aggressive ]
+
+let test_early_release_unblocks_follower () =
+  (* Job 0 requests 10 but runs 2; job 1 needs the whole machine and starts
+     the moment the tail is released. *)
+  let subs =
+    [
+      Simulator.{ job = Job.make ~id:0 ~p:2 ~q:2; submit = 0 };
+      Simulator.{ job = Job.make ~id:1 ~p:3 ~q:2; submit = 0 };
+    ]
+  in
+  let trace =
+    Simulator.run_estimated ~policy:(Policy.fcfs ()) ~m:2 ~estimates:[| 10; 3 |] subs
+  in
+  let starts = List.map (fun (r : Simulator.record) -> r.start) trace.records in
+  Alcotest.(check (list int)) "follower starts at the actual completion" [ 0; 2 ] starts
+
+let test_estimates_validated () =
+  let subs = [ Simulator.{ job = Job.make ~id:0 ~p:5 ~q:1; submit = 0 } ] in
+  Alcotest.check_raises "estimate below runtime"
+    (Invalid_argument "Simulator.run_estimated: estimate below the actual runtime") (fun () ->
+      ignore (Simulator.run_estimated ~policy:(Policy.fcfs ()) ~m:2 ~estimates:[| 3 |] subs));
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Simulator.run_estimated: estimates length mismatch") (fun () ->
+      ignore (Simulator.run_estimated ~policy:(Policy.fcfs ()) ~m:2 ~estimates:[| 5; 5 |] subs))
+
+let prop_estimated_executions_feasible =
+  Tutil.qcheck ~count:60 "all policies stay feasible under overestimates"
+    QCheck.(pair Tutil.seed_arb Tutil.seed_arb)
+    (fun (s1, s2) ->
+      let rng = Prng.create ~seed:s1 in
+      let inst = Resa_gen.Random_inst.cluster_workload rng ~m:8 ~n:10 ~max_runtime:12 in
+      let erng = Prng.create ~seed:s2 in
+      let estimates =
+        Array.init 10 (fun i ->
+            Job.p (Instance.job inst i) * Prng.int_incl erng ~lo:1 ~hi:4)
+      in
+      let arr = Resa_gen.Arrivals.uniform erng ~n:10 ~horizon:25 in
+      let subs =
+        List.init 10 (fun i -> Simulator.{ job = Instance.job inst i; submit = arr.(i) })
+      in
+      List.for_all
+        (fun policy ->
+          let trace = Simulator.run_estimated ~policy ~m:8 ~estimates subs in
+          let oi, os = Simulator.to_offline trace in
+          Schedule.is_feasible oi os
+          && List.for_all (fun (r : Simulator.record) -> r.start >= r.submit) trace.records)
+        (Policy.all ()))
+
+let suite =
+  [
+    Alcotest.test_case "heap orders by time then FIFO" `Quick test_heap_ordering;
+    Alcotest.test_case "heap interleaved push/pop" `Quick test_heap_interleaved;
+    Alcotest.test_case "heap rejects negative times" `Quick test_heap_rejects_negative;
+    prop_heap_sorts;
+    Alcotest.test_case "aggressive = offline LSRC at t=0" `Quick test_aggressive_equals_offline_lsrc;
+    Alcotest.test_case "FCFS policy blocks behind head" `Quick test_fcfs_policy_order;
+    Alcotest.test_case "no job before its submission" `Quick test_arrival_order_respected;
+    Alcotest.test_case "all policies feasible with reservations" `Quick test_policies_feasible_with_reservations;
+    Alcotest.test_case "conservative plans are stable" `Quick test_conservative_policy_plans_hold;
+    Alcotest.test_case "EASY policy backfills" `Quick test_easy_policy_backfills;
+    Alcotest.test_case "rogue policies are caught" `Quick test_policy_error_on_rogue_policy;
+    Alcotest.test_case "bad submissions rejected" `Quick test_simulator_rejects_bad_input;
+    prop_all_policies_sound;
+    Alcotest.test_case "accurate estimates change nothing" `Quick test_estimated_equals_exact_when_accurate;
+    Alcotest.test_case "early release unblocks followers" `Quick test_early_release_unblocks_follower;
+    Alcotest.test_case "estimates are validated" `Quick test_estimates_validated;
+    prop_estimated_executions_feasible;
+    Alcotest.test_case "metrics on a hand example" `Quick test_metrics_values;
+    Alcotest.test_case "metrics on empty trace" `Quick test_metrics_empty;
+    Alcotest.test_case "bounded slowdown" `Quick test_bounded_slowdown_bound;
+    Alcotest.test_case "book accepts within cap" `Quick test_book_accepts_within_cap;
+    Alcotest.test_case "book rejects too-wide" `Quick test_book_rejects_too_wide;
+    Alcotest.test_case "book rejects saturation" `Quick test_book_rejects_saturation;
+    Alcotest.test_case "book preserves alpha-restriction" `Quick test_book_keeps_alpha_restriction;
+  ]

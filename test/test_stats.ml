@@ -1,0 +1,91 @@
+open Resa_stats
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_mean_variance () =
+  feq "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  feq "mean empty" 0.0 (Stats.mean []);
+  feq "variance" (2.0 /. 3.0) (Stats.variance [ 1.0; 2.0; 3.0 ]);
+  feq "variance singleton" 0.0 (Stats.variance [ 5.0 ]);
+  feq "stddev" (sqrt (2.0 /. 3.0)) (Stats.stddev [ 1.0; 2.0; 3.0 ])
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [ 3.0; -1.0; 7.0 ] in
+  feq "min" (-1.0) lo;
+  feq "max" 7.0 hi;
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.min_max: empty list") (fun () ->
+      ignore (Stats.min_max []))
+
+let test_percentiles () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  feq "median" 50.0 (Stats.median xs);
+  feq "p90" 90.0 (Stats.percentile xs ~p:90.0);
+  feq "p100" 100.0 (Stats.percentile xs ~p:100.0);
+  feq "p0 clamps to first" 1.0 (Stats.percentile xs ~p:0.0)
+
+let test_histogram () =
+  let h = Stats.histogram ~bins:2 [ 0.0; 1.0; 2.0; 3.0 ] in
+  Alcotest.(check int) "two bins" 2 (List.length h);
+  let counts = List.map (fun (_, _, c) -> c) h in
+  Alcotest.(check (list int)) "counts" [ 2; 2 ] counts;
+  Alcotest.(check int) "total preserved" 4 (List.fold_left ( + ) 0 counts)
+
+let test_histogram_constant_data () =
+  let h = Stats.histogram ~bins:3 [ 5.0; 5.0; 5.0 ] in
+  Alcotest.(check int) "all in one bin" 3
+    (List.fold_left (fun acc (_, _, c) -> acc + c) 0 h)
+
+let test_summary_line () =
+  let s = Stats.summary_line [ 1.0; 2.0; 3.0 ] in
+  Alcotest.(check bool) "mentions n" true (String.length s > 0 && String.sub s 0 3 = "n=3")
+
+let test_table_render () =
+  let t = Table.create ~headers:[ "alpha"; "ratio" ] in
+  Table.add_row t [ "0.5"; "3.25" ];
+  Table.add_float_row t ~decimals:2 [ 1.0; 2.0 ];
+  let out = Table.render t in
+  Alcotest.(check int) "rows recorded" 2 (Table.n_rows t);
+  Alcotest.(check bool) "header present" true (String.length out > 0);
+  (* Four lines: header, separator, two rows. *)
+  Alcotest.(check int) "line count" 4 (List.length (String.split_on_char '\n' (String.trim out)))
+
+let test_table_rejects_ragged () =
+  let t = Table.create ~headers:[ "a"; "b" ] in
+  Alcotest.check_raises "wrong width" (Invalid_argument "Table.add_row: expected 2 cells, got 3")
+    (fun () -> Table.add_row t [ "1"; "2"; "3" ])
+
+let test_table_csv () =
+  let t = Table.create ~headers:[ "name"; "value" ] in
+  Table.add_row t [ "with,comma"; "2" ];
+  let csv = Table.to_csv t in
+  Alcotest.(check bool) "escaped" true
+    (String.length csv > 0 && String.contains csv '"')
+
+let prop_mean_bounded =
+  Tutil.qcheck "mean lies between min and max" QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (float_range (-100.) 100.))
+    (fun xs ->
+      let lo, hi = Stats.min_max xs in
+      let mu = Stats.mean xs in
+      lo -. 1e-9 <= mu && mu <= hi +. 1e-9)
+
+let prop_histogram_conserves_count =
+  Tutil.qcheck "histogram conserves the sample count"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (float_range 0. 10.))
+    (fun xs ->
+      let h = Stats.histogram ~bins:5 xs in
+      List.fold_left (fun acc (_, _, c) -> acc + c) 0 h = List.length xs)
+
+let suite =
+  [
+    Alcotest.test_case "mean and variance" `Quick test_mean_variance;
+    Alcotest.test_case "min and max" `Quick test_min_max;
+    Alcotest.test_case "percentiles" `Quick test_percentiles;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "histogram of constant data" `Quick test_histogram_constant_data;
+    Alcotest.test_case "summary line" `Quick test_summary_line;
+    Alcotest.test_case "table rendering" `Quick test_table_render;
+    Alcotest.test_case "table rejects ragged rows" `Quick test_table_rejects_ragged;
+    Alcotest.test_case "CSV escaping" `Quick test_table_csv;
+    prop_mean_bounded;
+    prop_histogram_conserves_count;
+  ]

@@ -1,0 +1,111 @@
+open Resa_core
+open Resa_swf
+
+let sample_line = "1 0 5 100 8 -1 -1 8 120 -1 1 3 1 1 1 1 -1 -1"
+
+let test_parse_line () =
+  match Swf.parse_line sample_line with
+  | Ok (Some e) ->
+    Alcotest.(check int) "job number" 1 e.Swf.job_number;
+    Alcotest.(check int) "submit" 0 e.Swf.submit;
+    Alcotest.(check int) "wait" 5 e.Swf.wait;
+    Alcotest.(check int) "run" 100 e.Swf.run;
+    Alcotest.(check int) "req procs" 8 e.Swf.req_procs;
+    Alcotest.(check int) "think time" (-1) e.Swf.think_time
+  | Ok None -> Alcotest.fail "entry expected"
+  | Error msg -> Alcotest.fail msg
+
+let test_parse_comments_and_blanks () =
+  (match Swf.parse_line "; UnixStartTime: 0" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "comment not skipped");
+  match Swf.parse_line "   " with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "blank not skipped"
+
+let test_parse_rejects_short_lines () =
+  match Swf.parse_line "1 2 3" with
+  | Error msg -> Alcotest.(check bool) "mentions field count" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "short line accepted"
+
+let test_parse_rejects_garbage () =
+  match Swf.parse_line "1 0 5 abc 8 -1 -1 8 120 -1 1 3 1 1 1 1 -1 -1" with
+  | Error msg -> Alcotest.(check bool) "names the field" true (String.length msg > 4)
+  | Ok _ -> Alcotest.fail "garbage accepted"
+
+let test_parse_accepts_float_fields () =
+  match Swf.parse_line "1 0 5 100 8 12.5 -1 8 120 -1 1 3 1 1 1 1 -1 -1" with
+  | Ok (Some e) -> Alcotest.(check int) "truncated" 12 e.Swf.avg_cpu
+  | _ -> Alcotest.fail "float field rejected"
+
+let test_parse_string_line_numbers () =
+  let text = "; header\n" ^ sample_line ^ "\nbad line\n" in
+  match Swf.parse_string text with
+  | Error msg -> Alcotest.(check bool) "line number cited" true (String.length msg > 7
+                                                                && String.sub msg 0 6 = "line 3")
+  | Ok _ -> Alcotest.fail "bad file accepted"
+
+let test_round_trip () =
+  let rng = Prng.create ~seed:41 in
+  let entries = Swf.generate rng ~m:32 ~n:50 ~max_runtime:500 ~mean_gap:4.0 in
+  let text = Swf.to_string ~comments:[ "synthetic" ] entries in
+  match Swf.parse_string text with
+  | Error msg -> Alcotest.fail msg
+  | Ok entries' ->
+    Alcotest.(check int) "count preserved" 50 (List.length entries');
+    List.iter2
+      (fun a b -> if a <> b then Alcotest.fail "entry changed in round trip")
+      entries entries'
+
+let test_to_workload_clamps () =
+  let e = { Swf.default with Swf.req_procs = 100; run = 0; req_time = 7 } in
+  match Swf.to_workload [ e ] ~m:16 with
+  | [ (job, submit) ] ->
+    Alcotest.(check int) "procs clamped to m" 16 (Job.q job);
+    Alcotest.(check int) "falls back to req_time" 7 (Job.p job);
+    Alcotest.(check int) "submit" 0 submit
+  | _ -> Alcotest.fail "one job expected"
+
+let test_of_workload_waits () =
+  let job = Job.make ~id:0 ~p:10 ~q:4 in
+  match Swf.of_workload [ (job, 3, 8) ] with
+  | [ e ] ->
+    Alcotest.(check int) "wait" 5 e.Swf.wait;
+    Alcotest.(check int) "run" 10 e.Swf.run;
+    Alcotest.(check int) "procs" 4 e.Swf.req_procs
+  | _ -> Alcotest.fail "one entry expected"
+
+let test_generated_trace_drives_simulator () =
+  let rng = Prng.create ~seed:42 in
+  let entries = Swf.generate rng ~m:16 ~n:30 ~max_runtime:100 ~mean_gap:5.0 in
+  let subs =
+    List.map
+      (fun (job, submit) -> Resa_sim.Simulator.{ job; submit })
+      (Swf.to_workload entries ~m:16)
+  in
+  let trace = Resa_sim.Simulator.run ~policy:(Resa_sim.Policy.easy ()) ~m:16 subs in
+  let inst, sched = Resa_sim.Simulator.to_offline trace in
+  Tutil.check_feasible "SWF-driven simulation" inst sched
+
+let prop_round_trip =
+  Tutil.qcheck ~count:50 "generate |> print |> parse is the identity" Tutil.seed_arb (fun seed ->
+      let rng = Prng.create ~seed in
+      let entries = Swf.generate rng ~m:8 ~n:10 ~max_runtime:50 ~mean_gap:2.0 in
+      match Swf.parse_string (Swf.to_string entries) with
+      | Ok entries' -> entries = entries'
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "parse a standard line" `Quick test_parse_line;
+    Alcotest.test_case "comments and blanks skipped" `Quick test_parse_comments_and_blanks;
+    Alcotest.test_case "short lines rejected" `Quick test_parse_rejects_short_lines;
+    Alcotest.test_case "non-numeric fields rejected" `Quick test_parse_rejects_garbage;
+    Alcotest.test_case "float fields tolerated" `Quick test_parse_accepts_float_fields;
+    Alcotest.test_case "errors cite line numbers" `Quick test_parse_string_line_numbers;
+    Alcotest.test_case "writer/parser round trip" `Quick test_round_trip;
+    Alcotest.test_case "to_workload clamps and falls back" `Quick test_to_workload_clamps;
+    Alcotest.test_case "of_workload computes waits" `Quick test_of_workload_waits;
+    Alcotest.test_case "generated trace drives the simulator" `Quick test_generated_trace_drives_simulator;
+    prop_round_trip;
+  ]
