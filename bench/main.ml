@@ -16,6 +16,7 @@ let registry =
     ("t5", Experiments.t5);
     ("ablation", Experiments.ablation_alpha_cap);
     ("perf", Perf.run);
+    ("scaling", Perf.scaling);
   ]
 
 let () =

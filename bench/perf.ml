@@ -68,6 +68,58 @@ let simulator_tests =
 
 let all_tests = algorithm_tests @ profile_tests @ heap_tests @ simulator_tests
 
+(* --- timeline vs profile scaling series --------------------------------- *)
+
+(* Whole-schedule wall clock at n in {1k, 5k, 20k}: the segment-tree
+   timeline path against the retained Profile-backed reference. The
+   quadratic reference is capped per algorithm so the series itself stays
+   tractable; above the cap only the timeline column is measured. LSRC is
+   left uncapped — its 20k row is the headline before/after number. *)
+let scaling () =
+  Printf.printf
+    "\n=== PERF: Timeline vs Profile scaling (one full run, m=128, n/5 reservations) ===\n";
+  let time f x y =
+    let t0 = Sys.time () in
+    ignore (f x y);
+    Sys.time () -. t0
+  in
+  let pretty s =
+    if s >= 1.0 then Printf.sprintf "%.2f s" s else Printf.sprintf "%.1f ms" (s *. 1000.)
+  in
+  let algos =
+    [
+      ("lsrc", Resa_algos.Lsrc.run_order, Resa_algos.Lsrc.run_order_reference, max_int);
+      ("fcfs", Resa_algos.Fcfs.run_order, Resa_algos.Fcfs.run_order_reference, 5_000);
+      ( "conservative",
+        Resa_algos.Backfill.conservative_order,
+        Resa_algos.Backfill.conservative_order_reference,
+        5_000 );
+      ("easy", Resa_algos.Backfill.easy_order, Resa_algos.Backfill.easy_order_reference, 1_000);
+    ]
+  in
+  let t =
+    Resa_stats.Table.create ~headers:[ "algorithm"; "n"; "timeline"; "profile"; "speedup" ]
+  in
+  List.iter
+    (fun n ->
+      let inst = reserved_workload n in
+      let order = Resa_algos.Priority.order Resa_algos.Priority.Fifo inst in
+      List.iter
+        (fun (name, fast, reference, ref_cap) ->
+          let fast_s = time fast inst order in
+          let ref_cell, speedup_cell =
+            if n > ref_cap then ("(skipped)", "-")
+            else begin
+              let ref_s = time reference inst order in
+              (pretty ref_s, Printf.sprintf "%.1fx" (ref_s /. Float.max fast_s 1e-9))
+            end
+          in
+          Resa_stats.Table.add_row t
+            [ name; string_of_int n; pretty fast_s; ref_cell; speedup_cell ])
+        algos)
+    [ 1_000; 5_000; 20_000 ];
+  print_string (Resa_stats.Table.render t)
+
 let run () =
   Printf.printf "\n=== PERF: Bechamel microbenchmarks (ns/run, OLS fit) ===\n";
   let ols =
@@ -96,4 +148,5 @@ let run () =
           Resa_stats.Table.add_row t [ name; pretty; Printf.sprintf "%.3f" r2 ])
         results)
     all_tests;
-  print_string (Resa_stats.Table.render t)
+  print_string (Resa_stats.Table.render t);
+  scaling ()

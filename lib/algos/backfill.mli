@@ -15,12 +15,23 @@ val conservative : ?priority:Priority.t -> Instance.t -> Schedule.t
 (** Always feasible; satisfies {!no_earlier_job_delayed}. *)
 
 val conservative_order : Instance.t -> int array -> Schedule.t
+(** Timeline-backed (O(log U) per capacity operation). *)
+
+val conservative_order_reference : Instance.t -> int array -> Schedule.t
+(** Original persistent-[Profile] implementation; differential-test oracle
+    and bench baseline. Same schedules as {!conservative_order}. *)
 
 val easy : ?priority:Priority.t -> Instance.t -> Schedule.t
 (** Offline emulation of EASY backfilling (all jobs ready at time 0):
     event-driven simulation with head-reservation protection. *)
 
 val easy_order : Instance.t -> int array -> Schedule.t
+(** Timeline-backed; the tentative backfill start is undone with an inverse
+    range-add instead of restoring a persistent snapshot. *)
+
+val easy_order_reference : Instance.t -> int array -> Schedule.t
+(** Original persistent-[Profile] implementation; differential-test oracle
+    and bench baseline. Same schedules as {!easy_order}. *)
 
 val no_earlier_job_delayed : Instance.t -> int array -> Schedule.t -> bool
 (** Conservative-backfilling certificate: removing any suffix of the queue

@@ -14,6 +14,11 @@ val run : ?priority:Priority.t -> Instance.t -> Schedule.t
     is always feasible. *)
 
 val run_order : Instance.t -> int array -> Schedule.t
+(** Timeline-backed (O(log U) per capacity operation). *)
+
+val run_order_reference : Instance.t -> int array -> Schedule.t
+(** Original persistent-[Profile] implementation; differential-test oracle
+    and bench baseline. Same schedules as {!run_order}. *)
 
 val respects_order : Instance.t -> Schedule.t -> int array -> bool
 (** FCFS invariant: start times are non-decreasing along the queue order. *)

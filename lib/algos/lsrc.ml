@@ -1,6 +1,6 @@
 open Resa_core
 
-let run_order inst order =
+let run_order_reference inst order =
   let n = Instance.n_jobs inst in
   if Array.length order <> n then invalid_arg "Lsrc.run_order: order length mismatch";
   let starts = Array.make n (-1) in
@@ -30,6 +30,49 @@ let run_order inst order =
         assert false)
   in
   loop 0 (Array.to_list order);
+  Schedule.make starts
+
+let run_order inst order =
+  let n = Instance.n_jobs inst in
+  if Array.length order <> n then invalid_arg "Lsrc.run_order: order length mismatch";
+  let starts = Array.make n (-1) in
+  let free = Timeline.of_profile (Instance.availability inst) in
+  let pending = Array.copy order in
+  let n_pend = ref n in
+  (* Start, in list order, every pending job whose whole window fits at [t],
+     compacting survivors in place. [cap_now] (capacity at the instant [t])
+     bounds every window minimum from above, so jobs wider than it are
+     rejected with an integer compare instead of a tree query. *)
+  let place_fitting t =
+    let cap_now = ref (Timeline.value_at free t) in
+    let w = ref 0 in
+    for k = 0 to !n_pend - 1 do
+      let i = pending.(k) in
+      let j = Instance.job inst i in
+      let q = Job.q j in
+      if q <= !cap_now && Timeline.min_on free ~lo:t ~hi:(t + Job.p j) >= q then begin
+        starts.(i) <- t;
+        Timeline.reserve free ~start:t ~dur:(Job.p j) ~need:q;
+        cap_now := !cap_now - q
+      end
+      else begin
+        pending.(!w) <- i;
+        incr w
+      end
+    done;
+    n_pend := !w
+  in
+  let rec loop t =
+    place_fitting t;
+    if !n_pend > 0 then
+      match Timeline.next_breakpoint_after free t with
+      | Some t' -> loop t'
+      | None ->
+        (* Unreachable: past the last breakpoint the capacity is the full
+           machine, so every pending job fits (DESIGN.md §1). *)
+        assert false
+  in
+  loop 0;
   Schedule.make starts
 
 let run ?(priority = Priority.Fifo) inst = run_order inst (Priority.order priority inst)

@@ -3,6 +3,7 @@ type t = {
   jobs : Job.t array;
   reservations : Reservation.t array; (* sorted by Reservation.compare *)
   unavail : Profile.t; (* cached U(t) *)
+  avail : Profile.t; (* cached m − U(t): availability is on every hot path *)
 }
 
 let build_unavail reservations =
@@ -35,7 +36,9 @@ let create ~m ~jobs ~reservations =
       let unavail = build_unavail reservations in
       if Profile.max_value unavail > m then
         Error "Instance.create: reservations exceed machine capacity"
-      else Ok { m; jobs = Array.of_list jobs; reservations; unavail }
+      else
+        let avail = Profile.add_const (Profile.neg unavail) m in
+        Ok { m; jobs = Array.of_list jobs; reservations; unavail; avail }
 
 let create_exn ~m ~jobs ~reservations =
   match create ~m ~jobs ~reservations with Ok t -> t | Error msg -> invalid_arg msg
@@ -52,7 +55,7 @@ let job t i = t.jobs.(i)
 let jobs t = Array.copy t.jobs
 let reservations t = Array.copy t.reservations
 let unavailability t = t.unavail
-let availability t = Profile.add_const (Profile.neg t.unavail) t.m
+let availability t = t.avail
 let total_work t = Array.fold_left (fun acc j -> acc + Job.area j) 0 t.jobs
 let pmax t = Array.fold_left (fun acc j -> max acc (Job.p j)) 0 t.jobs
 let qmax t = Array.fold_left (fun acc j -> max acc (Job.q j)) 0 t.jobs
@@ -73,7 +76,13 @@ let is_alpha_restricted t ~alpha =
   && float_of_int (umax t) <= ((1. -. alpha) *. float_of_int t.m) +. 1e-9
 
 let without_reservations t =
-  { m = t.m; jobs = Array.copy t.jobs; reservations = [||]; unavail = Profile.constant 0 }
+  {
+    m = t.m;
+    jobs = Array.copy t.jobs;
+    reservations = [||];
+    unavail = Profile.constant 0;
+    avail = Profile.constant t.m;
+  }
 
 let with_jobs t jobs =
   let jobs = List.mapi (fun i j -> Job.make ~id:i ~p:(Job.p j) ~q:(Job.q j)) jobs in

@@ -41,7 +41,9 @@ val unavailability : t -> Profile.t
 (** [U(t)]: processors blocked by reservations at time [t]. *)
 
 val availability : t -> Profile.t
-(** [m(t) = m − U(t)], the capacity the scheduler may use. *)
+(** [m(t) = m − U(t)], the capacity the scheduler may use. Cached in the
+    instance (profiles are persistent), so repeated calls return the same
+    value without reallocating. *)
 
 val total_work : t -> int
 (** [W(I) = Σ p_i·q_i] over jobs (reservations excluded). *)

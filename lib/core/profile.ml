@@ -77,8 +77,11 @@ let value_at p x = p.caps.(segment_index p x)
 let seg_hi p i = if i + 1 < Array.length p.times then Some p.times.(i + 1) else None
 
 let fold_window p ~lo ~hi ~init ~f =
-  (* Fold [f acc seg_lo seg_hi v] over segment pieces intersecting [lo, hi). *)
-  if lo < 0 || lo >= hi then invalid_arg "Profile: bad window";
+  (* Fold [f acc seg_lo seg_hi v] over segment pieces intersecting [lo, hi);
+     the empty window [lo = hi] folds nothing. *)
+  if lo < 0 || lo > hi then invalid_arg "Profile: bad window";
+  if lo = hi then init
+  else
   let i0 = segment_index p lo in
   let rec go acc i =
     if i >= Array.length p.times || p.times.(i) >= hi then acc
@@ -93,8 +96,7 @@ let min_on p ~lo ~hi = fold_window p ~lo ~hi ~init:max_int ~f:(fun acc _ _ v -> 
 let max_on p ~lo ~hi = fold_window p ~lo ~hi ~init:min_int ~f:(fun acc _ _ v -> max acc v)
 
 let integral_on p ~lo ~hi =
-  if lo = hi then 0
-  else fold_window p ~lo ~hi ~init:0 ~f:(fun acc slo shi v -> acc + (v * (shi - slo)))
+  fold_window p ~lo ~hi ~init:0 ~f:(fun acc slo shi v -> acc + (v * (shi - slo)))
 
 let min_value p = Array.fold_left min max_int p.caps
 let max_value p = Array.fold_left max min_int p.caps

@@ -31,9 +31,13 @@ val value_at : t -> int -> int
 (** Value at time [x >= 0]. *)
 
 val min_on : t -> lo:int -> hi:int -> int
-(** Minimum value over the non-empty window [\[lo, hi)], [0 <= lo < hi]. *)
+(** Minimum value over the window [\[lo, hi)], [0 <= lo <= hi]. The empty
+    window [lo = hi] yields [max_int], the identity of [min] — the same
+    convention {!integral_on} (0) and {!max_on} ([min_int]) follow, so all
+    window aggregates treat [lo = hi] uniformly. *)
 
 val max_on : t -> lo:int -> hi:int -> int
+(** Maximum over the window; [min_int] on the empty window. *)
 
 val integral_on : t -> lo:int -> hi:int -> int
 (** [∫_lo^hi profile], i.e. processor·time area over [\[lo, hi)]. Requires

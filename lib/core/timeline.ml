@@ -1,0 +1,277 @@
+(* Sparse lazy segment tree over [0, size), size a power of two.
+
+   Nodes live in growable parallel arrays; id 0 is the nil sentinel. A node
+   is either a uniform region (no children, mn = mx = its value) or an
+   internal node with both children. [ad] is the pending range-add already
+   reflected in the node's own mn/mx but not yet pushed to its children;
+   for uniform nodes it is always folded into mn/mx immediately. Everything
+   at or beyond [last_hi] — in particular the whole region the tree has
+   never materialised — carries the constant [tail] value, and the universe
+   is kept strictly larger than [last_hi] so the tree always contains at
+   least one tail-valued position (several descents rely on that to decide
+   "no such instant exists" vs "it exists past the horizon"). *)
+
+type t = {
+  mutable size : int; (* power of two; root covers [0, size); size > last_hi *)
+  mutable root : int;
+  mutable tail : int; (* value on [last_hi, ∞) *)
+  mutable last_hi : int; (* all changes so far confined to [0, last_hi) *)
+  mutable lc : int array;
+  mutable rc : int array;
+  mutable mn : int array;
+  mutable mx : int array;
+  mutable ad : int array;
+  mutable n_nodes : int;
+}
+
+let new_node t v =
+  let id = t.n_nodes in
+  if id = Array.length t.mn then begin
+    let cap = 2 * Array.length t.mn in
+    let grow a =
+      let b = Array.make cap 0 in
+      Array.blit a 0 b 0 id;
+      b
+    in
+    t.lc <- grow t.lc;
+    t.rc <- grow t.rc;
+    t.mn <- grow t.mn;
+    t.mx <- grow t.mx;
+    t.ad <- grow t.ad
+  end;
+  t.n_nodes <- id + 1;
+  t.lc.(id) <- 0;
+  t.rc.(id) <- 0;
+  t.mn.(id) <- v;
+  t.mx.(id) <- v;
+  t.ad.(id) <- 0;
+  id
+
+let create c =
+  let t =
+    {
+      size = 1;
+      root = 0;
+      tail = c;
+      last_hi = 0;
+      lc = Array.make 64 0;
+      rc = Array.make 64 0;
+      mn = Array.make 64 0;
+      mx = Array.make 64 0;
+      ad = Array.make 64 0;
+      n_nodes = 1;
+    }
+  in
+  t.root <- new_node t c;
+  t
+
+let apply_add t v d =
+  t.mn.(v) <- t.mn.(v) + d;
+  t.mx.(v) <- t.mx.(v) + d;
+  t.ad.(v) <- t.ad.(v) + d
+
+let push t v =
+  if t.lc.(v) = 0 then begin
+    (* Uniform region: materialise children at its value; the pending add is
+       already folded into mn. *)
+    let u = t.mn.(v) in
+    t.lc.(v) <- new_node t u;
+    t.rc.(v) <- new_node t u;
+    t.ad.(v) <- 0
+  end
+  else if t.ad.(v) <> 0 then begin
+    apply_add t t.lc.(v) t.ad.(v);
+    apply_add t t.rc.(v) t.ad.(v);
+    t.ad.(v) <- 0
+  end
+
+let pull t v =
+  (* Only called right after [push], so ad.(v) = 0. *)
+  t.mn.(v) <- min t.mn.(t.lc.(v)) t.mn.(t.rc.(v));
+  t.mx.(v) <- max t.mx.(t.lc.(v)) t.mx.(t.rc.(v))
+
+let ensure t hi =
+  while hi > t.size do
+    let r = new_node t 0 in
+    let u = new_node t t.tail in
+    t.lc.(r) <- t.root;
+    t.rc.(r) <- u;
+    t.mn.(r) <- min t.mn.(t.root) t.tail;
+    t.mx.(r) <- max t.mx.(t.root) t.tail;
+    t.root <- r;
+    t.size <- 2 * t.size
+  done
+
+let rec upd t v lo hi qlo qhi d =
+  if qlo <= lo && hi <= qhi then apply_add t v d
+  else begin
+    push t v;
+    let mid = (lo + hi) / 2 in
+    if qlo < mid then upd t t.lc.(v) lo mid qlo qhi d;
+    if qhi > mid then upd t t.rc.(v) mid hi qlo qhi d;
+    pull t v
+  end
+
+let rec query t v lo hi qlo qhi ~want_min =
+  if qlo <= lo && hi <= qhi then if want_min then t.mn.(v) else t.mx.(v)
+  else if t.lc.(v) = 0 then t.mn.(v) (* uniform: mn = mx *)
+  else begin
+    push t v;
+    let mid = (lo + hi) / 2 in
+    let l =
+      if qlo < mid then Some (query t t.lc.(v) lo mid qlo qhi ~want_min) else None
+    in
+    let r =
+      if qhi > mid then Some (query t t.rc.(v) mid hi qlo qhi ~want_min) else None
+    in
+    match (l, r) with
+    | Some a, Some b -> if want_min then min a b else max a b
+    | Some a, None | None, Some a -> a
+    | None, None -> assert false
+  end
+
+(* Leftmost position in [qlo, qhi) whose value satisfies the descent's
+   predicate; -1 when none. [keep] prunes whole subtrees from (mn, mx). *)
+let rec first t v lo hi qlo qhi ~keep =
+  if qhi <= lo || hi <= qlo || not (keep t.mn.(v) t.mx.(v)) then -1
+  else if t.lc.(v) = 0 then max lo qlo
+  else begin
+    push t v;
+    let mid = (lo + hi) / 2 in
+    let p = first t t.lc.(v) lo mid qlo qhi ~keep in
+    if p >= 0 then p else first t t.rc.(v) mid hi qlo qhi ~keep
+  end
+
+let rec last t v lo hi qlo qhi ~keep =
+  if qhi <= lo || hi <= qlo || not (keep t.mn.(v) t.mx.(v)) then -1
+  else if t.lc.(v) = 0 then min (hi - 1) (qhi - 1)
+  else begin
+    push t v;
+    let mid = (lo + hi) / 2 in
+    let p = last t t.rc.(v) mid hi qlo qhi ~keep in
+    if p >= 0 then p else last t t.lc.(v) lo mid qlo qhi ~keep
+  end
+
+let value_at t x =
+  if x < 0 then invalid_arg "Timeline: negative time";
+  if x >= t.size then t.tail
+  else begin
+    let rec go v lo hi =
+      if t.lc.(v) = 0 then t.mn.(v)
+      else begin
+        push t v;
+        let mid = (lo + hi) / 2 in
+        if x < mid then go t.lc.(v) lo mid else go t.rc.(v) mid hi
+      end
+    in
+    go t.root 0 t.size
+  end
+
+let min_on t ~lo ~hi =
+  if lo < 0 || lo > hi then invalid_arg "Timeline: bad window";
+  if lo = hi then max_int
+  else begin
+    ensure t hi;
+    query t t.root 0 t.size lo hi ~want_min:true
+  end
+
+let max_on t ~lo ~hi =
+  if lo < 0 || lo > hi then invalid_arg "Timeline: bad window";
+  if lo = hi then min_int
+  else begin
+    ensure t hi;
+    query t t.root 0 t.size lo hi ~want_min:false
+  end
+
+let change t ~lo ~hi ~delta =
+  if lo < hi && delta <> 0 then begin
+    if lo < 0 then invalid_arg "Timeline.change: negative lo";
+    (* Strictly past [hi] so at least one tail-valued position stays in
+       range (the size > last_hi invariant). *)
+    ensure t (hi + 1);
+    upd t t.root 0 t.size lo hi delta;
+    if hi > t.last_hi then t.last_hi <- hi
+  end
+
+let reserve t ~start ~dur ~need =
+  if dur < 1 then invalid_arg "Timeline.reserve: dur must be >= 1";
+  if need < 0 then invalid_arg "Timeline.reserve: negative need";
+  if min_on t ~lo:start ~hi:(start + dur) < need then
+    invalid_arg "Timeline.reserve: insufficient capacity in window";
+  change t ~lo:start ~hi:(start + dur) ~delta:(-need)
+
+let earliest_fit t ~from ~dur ~need =
+  if dur < 1 then invalid_arg "Timeline.earliest_fit: dur must be >= 1";
+  if from < 0 then invalid_arg "Timeline.earliest_fit: negative from";
+  let rec attempt s =
+    ensure t (s + dur);
+    match first t t.root 0 t.size s (s + dur) ~keep:(fun mn _ -> mn < need) with
+    | -1 -> Some s
+    | p -> (
+      (* The window is blocked at [p]; the next viable candidate is the first
+         later instant with capacity again >= need. Position size-1 carries
+         the tail value (size > last_hi), so finding nothing here proves the
+         tail is below [need] and no window ever fits. *)
+      match first t t.root 0 t.size (p + 1) t.size ~keep:(fun _ mx -> mx >= need) with
+      | -1 -> None
+      | s' -> attempt s')
+  in
+  attempt from
+
+let next_breakpoint_after t x =
+  if x < 0 then invalid_arg "Timeline: negative time";
+  let c = value_at t x in
+  if x + 1 >= t.size then None
+  else
+    match
+      first t t.root 0 t.size (x + 1) t.size ~keep:(fun mn mx -> mn <> c || mx <> c)
+    with
+    | -1 -> None (* constant from x on: [x+1, size) = c and size-1 is tail-valued *)
+    | p -> Some p
+
+let last_breakpoint t =
+  let c = t.tail in
+  match last t t.root 0 t.size 0 t.size ~keep:(fun mn mx -> mn <> c || mx <> c) with
+  | -1 -> 0
+  | p -> p + 1
+
+let to_profile ?(from = 0) t =
+  if from < 0 then invalid_arg "Timeline.to_profile: negative from";
+  let acc = ref [] in
+  let emit pos v =
+    match !acc with
+    | (_, v') :: _ when v' = v -> ()
+    | _ -> acc := (pos, v) :: !acc
+  in
+  if from >= t.size then emit 0 t.tail
+  else begin
+    let rec go v lo hi =
+      if hi > from then
+        if t.lc.(v) = 0 then emit (max lo from) t.mn.(v)
+        else begin
+          push t v;
+          let mid = (lo + hi) / 2 in
+          go t.lc.(v) lo mid;
+          go t.rc.(v) mid hi
+        end
+    in
+    go t.root 0 t.size
+  end;
+  let steps =
+    match List.rev !acc with
+    | (_, v) :: rest -> (0, v) :: rest (* the first run reaches back to 0 *)
+    | [] -> assert false
+  in
+  Profile.of_steps steps
+
+let of_profile ?horizon p =
+  let tail = Profile.final_value p in
+  let t = create tail in
+  (match horizon with Some h when h > 0 -> ensure t h | _ -> ());
+  Profile.fold_segments p ~init:() ~f:(fun () ~lo ~hi ~v ->
+      match hi with
+      | Some hi -> change t ~lo ~hi ~delta:(v - tail)
+      | None -> () (* final segment: already [tail] everywhere *));
+  t
+
+let pp ppf t = Profile.pp ppf (to_profile t)

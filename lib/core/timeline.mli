@@ -1,0 +1,74 @@
+(** Mutable capacity timeline: the imperative fast path behind every
+    scheduler's free-capacity bookkeeping.
+
+    A timeline represents the same mathematical object as {!Profile.t} — an
+    integer-valued step function over discrete time [\[0, ∞)] whose last
+    value extends to infinity — but stores it in a sparse lazy segment tree
+    over a fixed power-of-two breakpoint universe [\[0, size)] (grown by
+    root-doubling when an operation touches later instants). Every mutation
+    and query is a single O(log U) tree walk with no allocation beyond node
+    materialisation, versus the O(k) whole-array rebuild that
+    [Profile.change]/[Profile.reserve] pay per job; [U] is the universe
+    size, so [log U <= 63] always and ≈ 20 for realistic horizons.
+
+    Semantics are kept exactly aligned with [Profile] — [min_on], [reserve],
+    [change], [earliest_fit], [next_breakpoint_after] and [last_breakpoint]
+    return bit-identical results to the persistent versions applied to the
+    same operation history (enforced by the randomized differential suite in
+    [test/test_timeline.ml]) — so schedulers can switch their hot loops to a
+    timeline while validation code keeps consuming [Profile.t] through
+    {!to_profile}.
+
+    Timelines are single-owner mutable state: queries may propagate lazy
+    range-adds internally, so sharing one value across concurrent consumers
+    is not supported. *)
+
+type t
+
+val create : int -> t
+(** [create c] is the everywhere-[c] timeline. *)
+
+val of_profile : ?horizon:int -> Profile.t -> t
+(** Import a profile. [horizon] pre-sizes the breakpoint universe (it still
+    grows on demand); useful when the caller knows the schedule's end. *)
+
+val to_profile : ?from:int -> t -> Profile.t
+(** Export the current state as a normalized persistent profile. With
+    [~from:t], the past is collapsed: the result is constant at
+    [value_at t] on [\[0, t\]] and exact afterwards — the cheap "forward
+    view" handed to simulator policies, whose decisions never look back. *)
+
+val value_at : t -> int -> int
+(** Value at time [x >= 0]. *)
+
+val min_on : t -> lo:int -> hi:int -> int
+(** Minimum over [\[lo, hi)], [0 <= lo <= hi]; [max_int] (the identity of
+    [min]) on the empty window — same convention as [Profile.min_on]. *)
+
+val max_on : t -> lo:int -> hi:int -> int
+(** Maximum over the window; [min_int] on the empty window. *)
+
+val change : t -> lo:int -> hi:int -> delta:int -> unit
+(** Add [delta] on [\[lo, hi)]; no-op when [lo >= hi] or [delta = 0].
+    Raises [Invalid_argument] on negative [lo]. *)
+
+val reserve : t -> start:int -> dur:int -> need:int -> unit
+(** Subtract [need] on [\[start, start+dur)] after checking the window has
+    capacity [need] everywhere; raises [Invalid_argument] otherwise, leaving
+    the timeline unchanged. The checked allocation used by schedulers; undo
+    a reservation with [change ~delta:need] (exact inverse). *)
+
+val earliest_fit : t -> from:int -> dur:int -> need:int -> int option
+(** Smallest [s >= from] with [min_on ~lo:s ~hi:(s+dur) >= need], found by
+    alternating two tree descents (leftmost value [< need] in the candidate
+    window / leftmost value [>= need] after the blocker). [None] exactly
+    when the tail value is below [need]. Requires [dur >= 1]. *)
+
+val next_breakpoint_after : t -> int -> int option
+(** Smallest instant [> t] where the value changes, if any — agrees with
+    [Profile.next_breakpoint_after] on the normalized profile. *)
+
+val last_breakpoint : t -> int
+(** Start of the final constant segment (0 for a constant timeline). *)
+
+val pp : Format.formatter -> t -> unit

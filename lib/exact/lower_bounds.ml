@@ -3,7 +3,10 @@ open Resa_core
 let min_time_with_area profile ~from ~area =
   if area <= 0 then from
   else begin
-    if Profile.final_value profile <= 0 && Profile.last_breakpoint profile >= from then
+    (* A non-positive tail can never accumulate the missing area; rejecting
+       it only when [from] sat before the last breakpoint used to let
+       past-the-tail calls fall through to a fabricated rate of 1. *)
+    if Profile.final_value profile <= 0 then
       invalid_arg "Lower_bounds.min_time_with_area: non-positive tail";
     (* Accumulate area segment by segment from [from], then interpolate in
        the final (constant-rate) piece. *)
@@ -17,7 +20,7 @@ let min_time_with_area profile ~from ~area =
           else t + ((area - acc + v - 1) / v)
         else go t' (acc + gained)
       | None ->
-        let v = max v 1 in
+        (* Tail segment: v = final_value >= 1, checked above. *)
         t + ((area - acc + v - 1) / v)
     in
     go from 0

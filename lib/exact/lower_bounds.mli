@@ -8,7 +8,8 @@ open Resa_core
 
 val min_time_with_area : Profile.t -> from:int -> area:int -> int
 (** Smallest [C >= from] with [∫_from^C profile >= area]. The profile must be
-    non-negative with positive tail value when [area > 0]. *)
+    non-negative with positive tail value when [area > 0]; a non-positive
+    tail raises [Invalid_argument] regardless of where [from] sits. *)
 
 val work_bound : Instance.t -> int
 (** Area argument (generalises [W/m] from Theorem 2 to reservations): the

@@ -1,7 +1,11 @@
 type 'a entry = { time : int; seq : int; payload : 'a }
 
+(* Slots at or beyond [len] are always [None]: a popped entry (and its
+   payload) must not stay reachable from the backing array, or a long
+   simulation retains every event it ever processed. [None] is the dummy
+   that makes the invariant typeable for an arbitrary ['a]. *)
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable data : 'a entry option array;
   mutable len : int;
   mutable next_seq : int;
 }
@@ -11,11 +15,13 @@ let create () = { data = [||]; len = 0; next_seq = 0 }
 let is_empty h = h.len = 0
 let size h = h.len
 
+let get h i = match h.data.(i) with Some e -> e | None -> assert false
+
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
 let grow h =
   let cap = max 16 (2 * Array.length h.data) in
-  let data = Array.make cap h.data.(0) in
+  let data = Array.make cap None in
   Array.blit h.data 0 data 0 h.len;
   h.data <- data
 
@@ -23,9 +29,8 @@ let push h ~time payload =
   if time < 0 then invalid_arg "Event_heap.push: negative time";
   let entry = { time; seq = h.next_seq; payload } in
   h.next_seq <- h.next_seq + 1;
-  if h.len = Array.length h.data then
-    if h.len = 0 then h.data <- Array.make 16 entry else grow h;
-  h.data.(h.len) <- entry;
+  if h.len = Array.length h.data then grow h;
+  h.data.(h.len) <- Some entry;
   h.len <- h.len + 1;
   (* Sift up. *)
   let i = ref (h.len - 1) in
@@ -33,7 +38,7 @@ let push h ~time payload =
     !i > 0
     &&
     let parent = (!i - 1) / 2 in
-    before h.data.(!i) h.data.(parent)
+    before (get h !i) (get h parent)
   do
     let parent = (!i - 1) / 2 in
     let tmp = h.data.(parent) in
@@ -42,23 +47,24 @@ let push h ~time payload =
     i := parent
   done
 
-let peek_time h = if h.len = 0 then None else Some h.data.(0).time
+let peek_time h = if h.len = 0 then None else Some (get h 0).time
 
 let pop h =
   if h.len = 0 then None
   else begin
-    let top = h.data.(0) in
+    let top = get h 0 in
     h.len <- h.len - 1;
+    h.data.(0) <- h.data.(h.len);
+    h.data.(h.len) <- None;
     if h.len > 0 then begin
-      h.data.(0) <- h.data.(h.len);
       (* Sift down. *)
       let i = ref 0 in
       let continue = ref true in
       while !continue do
         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
         let smallest = ref !i in
-        if l < h.len && before h.data.(l) h.data.(!smallest) then smallest := l;
-        if r < h.len && before h.data.(r) h.data.(!smallest) then smallest := r;
+        if l < h.len && before (get h l) (get h !smallest) then smallest := l;
+        if r < h.len && before (get h r) (get h !smallest) then smallest := r;
         if !smallest = !i then continue := false
         else begin
           let tmp = h.data.(!smallest) in
@@ -72,5 +78,9 @@ let pop h =
   end
 
 let clear h =
+  Array.fill h.data 0 (Array.length h.data) None;
   h.len <- 0;
   h.next_seq <- 0
+
+let live_entries h =
+  Array.fold_left (fun acc -> function Some _ -> acc + 1 | None -> acc) 0 h.data

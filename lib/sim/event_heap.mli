@@ -19,3 +19,10 @@ val pop : 'a t -> (int * 'a) option
 (** Remove and return the earliest event. *)
 
 val clear : 'a t -> unit
+(** Empty the heap and drop every reference it still holds. *)
+
+val live_entries : 'a t -> int
+(** Number of backing-array slots currently holding an entry. Always equals
+    {!size}: popped slots are overwritten with a dummy so their payloads
+    become collectable. Exposed so tests can assert the absence of the
+    historical space leak structurally, without relying on the GC. *)

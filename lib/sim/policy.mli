@@ -3,7 +3,10 @@
     A policy is consulted at every simulation event. It sees the current
     time, the submission-ordered queue of waiting jobs, and the forward
     capacity profile [free] (machine availability minus reservations minus
-    windows of running jobs). It answers with the queued jobs to start right
+    windows of running jobs). [free] is exact from the current [time]
+    onwards only — the simulator collapses the dead history before [time]
+    to a constant — so decisions must not inspect past instants (none of
+    the policies here do). It answers with the queued jobs to start right
     now — each must fit its whole window at the current time — and an
     optional extra wake-up instant (needed by planning policies whose next
     action time is not a simulator event).

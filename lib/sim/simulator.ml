@@ -53,7 +53,11 @@ let run_estimated ~policy ~m ?(reservations = []) ~estimates (submissions : subm
   Array.iter
     (fun t -> Event_heap.push events ~time:t Wake)
     (Profile.breakpoints (Instance.availability base));
-  let free = ref (Instance.availability base) in
+  (* Free capacity lives in a mutable timeline (O(log U) per start/release);
+     policies still receive a persistent [Profile.t] — the forward view from
+     the current instant, which collapses the dead history segments that used
+     to accumulate in the profile for the whole simulation. *)
+  let free = Timeline.of_profile (Instance.availability base) in
   let queue = ref [] (* reversed submission order, estimated jobs *) in
   let starts : (int, int) Hashtbl.t = Hashtbl.create n in
   let forced = ref false in
@@ -64,7 +68,7 @@ let run_estimated ~policy ~m ?(reservations = []) ~estimates (submissions : subm
     let start = Hashtbl.find starts id in
     let planned_end = start + Hashtbl.find est_p id in
     if t < planned_end then
-      free := Profile.change !free ~lo:t ~hi:planned_end ~delta:(Hashtbl.find width_of id)
+      Timeline.change free ~lo:t ~hi:planned_end ~delta:(Hashtbl.find width_of id)
   in
   let rec drain t =
     match Event_heap.peek_time events with
@@ -78,11 +82,11 @@ let run_estimated ~policy ~m ?(reservations = []) ~estimates (submissions : subm
   in
   let start_job t j =
     let est = Hashtbl.find est_p (Job.id j) in
-    if Profile.min_on !free ~lo:t ~hi:(t + est) < Job.q j then
+    if Timeline.min_on free ~lo:t ~hi:(t + est) < Job.q j then
       raise
         (Policy_error
            (Format.asprintf "%s started %a at t=%d without capacity" policy.Policy.name Job.pp j t));
-    free := Profile.reserve !free ~start:t ~dur:est ~need:(Job.q j);
+    Timeline.reserve free ~start:t ~dur:est ~need:(Job.q j);
     Hashtbl.replace starts (Job.id j) t;
     forced := false;
     Event_heap.push events ~time:(t + Hashtbl.find actual_p (Job.id j)) (Completion (Job.id j))
@@ -99,7 +103,7 @@ let run_estimated ~policy ~m ?(reservations = []) ~estimates (submissions : subm
              once. *)
           forced := true;
           Event_heap.push events
-            ~time:(max (!last_t + 1) (Profile.last_breakpoint !free))
+            ~time:(max (!last_t + 1) (Timeline.last_breakpoint free))
             Wake;
           loop ()
         end
@@ -107,7 +111,9 @@ let run_estimated ~policy ~m ?(reservations = []) ~estimates (submissions : subm
       drain t;
       last_t := t;
       let q_now = List.rev !queue in
-      let action = policy.Policy.decide ~time:t ~queue:q_now ~free:!free in
+      let action =
+        policy.Policy.decide ~time:t ~queue:q_now ~free:(Timeline.to_profile ~from:t free)
+      in
       let start_now = action.Policy.start_now and wake = action.Policy.wake in
       List.iter
         (fun j ->

@@ -133,15 +133,21 @@ let to_string ?(comments = []) entries =
     entries;
   Buffer.contents buf
 
-let to_workload entries ~m =
-  List.mapi
-    (fun i e ->
-      let q0 = if e.req_procs > 0 then e.req_procs else e.alloc_procs in
-      let q = max 1 (min m q0) in
-      let p0 = if e.run > 0 then e.run else e.req_time in
-      let p = max 1 p0 in
-      (Job.make ~id:i ~p ~q, max 0 e.submit))
-    entries
+(* Entries with neither a positive runtime nor a positive request carry no
+   work at all (jobs cancelled before starting, archive status 0/5 stubs);
+   converting them used to fabricate phantom 1-second jobs via [max 1]. *)
+let carries_work e = e.run > 0 || e.req_time > 0
+
+let keep ~keep_failed e = carries_work e && (keep_failed || e.status <> 0)
+
+let to_workload ?(keep_failed = true) entries ~m =
+  List.filter (keep ~keep_failed) entries
+  |> List.mapi (fun i e ->
+         let q0 = if e.req_procs > 0 then e.req_procs else e.alloc_procs in
+         let q = max 1 (min m q0) in
+         let p0 = if e.run > 0 then e.run else e.req_time in
+         let p = max 1 p0 in
+         (Job.make ~id:i ~p ~q, max 0 e.submit))
 
 let of_workload triples =
   List.mapi
@@ -159,15 +165,14 @@ let of_workload triples =
       })
     triples
 
-let to_estimated_workload entries ~m =
-  List.mapi
-    (fun i e ->
-      let q0 = if e.req_procs > 0 then e.req_procs else e.alloc_procs in
-      let q = max 1 (min m q0) in
-      let p = max 1 e.run in
-      let est = max p e.req_time in
-      (Job.make ~id:i ~p ~q, max 0 e.submit, est))
-    entries
+let to_estimated_workload ?(keep_failed = true) entries ~m =
+  List.filter (keep ~keep_failed) entries
+  |> List.mapi (fun i e ->
+         let q0 = if e.req_procs > 0 then e.req_procs else e.alloc_procs in
+         let q = max 1 (min m q0) in
+         let p = max 1 e.run in
+         let est = max p e.req_time in
+         (Job.make ~id:i ~p ~q, max 0 e.submit, est))
 
 let generate ?(overestimate = 1.0) rng ~m ~n ~max_runtime ~mean_gap =
   if overestimate < 1.0 then invalid_arg "Swf.generate: overestimate must be >= 1.0";

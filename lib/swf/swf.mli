@@ -53,23 +53,28 @@ val to_line : entry -> string
 val to_string : ?comments:string list -> entry list -> string
 (** Render a trace, with optional [';']-prefixed header comments. *)
 
-val to_workload : entry list -> m:int -> (Job.t * int) list
+val to_workload : ?keep_failed:bool -> entry list -> m:int -> (Job.t * int) list
 (** [(job, submit)] pairs ready for the simulator or {!Resa_algos.Online}:
     processors are [req_procs] (falling back to [alloc_procs]), clamped to
     [\[1, m\]]; runtimes are [run] (falling back to [req_time], minimum 1).
-    Jobs with [status = 0] (failed) are kept — they occupied the machine.
-    Ids are renumbered consecutively. *)
+    Entries with neither a positive [run] nor a positive [req_time] (jobs
+    cancelled before starting) represent no work and are skipped — they
+    used to become phantom 1-second jobs. Jobs with [status = 0] (failed)
+    are kept by default — they occupied the machine — and dropped with
+    [~keep_failed:false]. Ids are renumbered consecutively over the kept
+    entries. *)
 
 val of_workload : (Job.t * int * int) list -> entry list
 (** [(job, submit, start)] triples (e.g. a finished simulation) back to SWF
     entries with [wait = start − submit]. *)
 
-val to_estimated_workload : entry list -> m:int -> (Job.t * int * int) list
+val to_estimated_workload :
+  ?keep_failed:bool -> entry list -> m:int -> (Job.t * int * int) list
 (** [(job, submit, requested_walltime)] triples for
     [Resa_sim.Simulator.run_estimated]: the job carries the *actual* runtime
     while the third component is the user's request ([req_time], clamped to
     at least the actual runtime) — the walltime-accuracy data real SWF
-    traces carry. *)
+    traces carry. Filters entries exactly like {!to_workload}. *)
 
 val generate :
   ?overestimate:float -> Prng.t -> m:int -> n:int -> max_runtime:int -> mean_gap:float -> entry list

@@ -60,7 +60,10 @@ let test_instance_unavailability () =
   Alcotest.(check int) "umax" 8 (Instance.umax inst);
   Alcotest.(check int) "horizon" 8 (Instance.horizon inst);
   let a = Instance.availability inst in
-  Alcotest.(check int) "availability complement" 2 (Profile.value_at a 5)
+  Alcotest.(check int) "availability complement" 2 (Profile.value_at a 5);
+  (* Availability sits on every scheduler hot path; it is computed once at
+     construction, not rebuilt per call. *)
+  Alcotest.(check bool) "availability is cached" true (a == Instance.availability inst)
 
 let test_instance_aggregates () =
   let inst = Instance.of_sizes ~m:4 [ (3, 2); (5, 1); (2, 4) ] in

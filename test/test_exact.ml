@@ -11,6 +11,20 @@ let test_min_time_with_area () =
   Alcotest.(check int) "rounds up" 6 (Lower_bounds.min_time_with_area p ~from:0 ~area:7);
   Alcotest.(check int) "from offset" 7 (Lower_bounds.min_time_with_area p ~from:5 ~area:8)
 
+let test_min_time_with_area_rejects_dead_tail () =
+  (* A non-positive tail can never accumulate more area; the guard must fire
+     even when [from] is already past the last breakpoint — that case used
+     to fall through to a fabricated rate of 1. *)
+  let dead = Profile.of_steps [ (0, 3); (5, 0) ] in
+  let expect = Invalid_argument "Lower_bounds.min_time_with_area: non-positive tail" in
+  Alcotest.check_raises "from before tail" expect (fun () ->
+      ignore (Lower_bounds.min_time_with_area dead ~from:0 ~area:100));
+  Alcotest.check_raises "from past last breakpoint" expect (fun () ->
+      ignore (Lower_bounds.min_time_with_area dead ~from:9 ~area:3));
+  (* area = 0 needs nothing, so even a dead tail answers immediately. *)
+  Alcotest.(check int) "zero area unaffected" 9
+    (Lower_bounds.min_time_with_area dead ~from:9 ~area:0)
+
 let test_work_bound_no_reservations () =
   let inst = Instance.of_sizes ~m:4 [ (3, 2); (2, 4) ] in
   (* W = 14, m = 4 -> ceil(14/4) = 4. *)
@@ -158,6 +172,8 @@ let prop_packed_instances_confirmed =
 let suite =
   [
     Alcotest.test_case "min_time_with_area" `Quick test_min_time_with_area;
+    Alcotest.test_case "min_time_with_area rejects dead tail" `Quick
+      test_min_time_with_area_rejects_dead_tail;
     Alcotest.test_case "work bound = ceil(W/m)" `Quick test_work_bound_no_reservations;
     Alcotest.test_case "work bound skips blackout" `Quick test_work_bound_with_reservations;
     Alcotest.test_case "fit bound (pmax generalised)" `Quick test_fit_bound;

@@ -50,6 +50,18 @@ let test_min_max_on () =
   Alcotest.(check int) "max across" 8 (Profile.max_on p ~lo:0 ~hi:7);
   Alcotest.(check int) "max tail" 8 (Profile.max_on p ~lo:100 ~hi:101)
 
+let test_empty_and_bad_windows () =
+  (* All window queries agree on [lo = hi]: the identity of their monoid.
+     min_on used to disagree with integral_on here. *)
+  let p = Profile.of_steps [ (0, 5); (3, 1); (6, 8) ] in
+  Alcotest.(check int) "empty min is max_int" max_int (Profile.min_on p ~lo:4 ~hi:4);
+  Alcotest.(check int) "empty max is min_int" min_int (Profile.max_on p ~lo:4 ~hi:4);
+  Alcotest.(check int) "empty integral is 0" 0 (Profile.integral_on p ~lo:4 ~hi:4);
+  let bad = Invalid_argument "Profile: bad window" in
+  Alcotest.check_raises "lo > hi" bad (fun () -> ignore (Profile.min_on p ~lo:5 ~hi:4));
+  Alcotest.check_raises "negative lo" bad (fun () ->
+      ignore (Profile.integral_on p ~lo:(-1) ~hi:3))
+
 let test_integral () =
   let p = Profile.of_steps [ (0, 5); (3, 1); (6, 8) ] in
   Alcotest.(check int) "full window" ((5 * 3) + (1 * 3) + (8 * 2)) (Profile.integral_on p ~lo:0 ~hi:8);
@@ -193,6 +205,7 @@ let suite =
     Alcotest.test_case "of_events at time zero" `Quick test_of_events_at_zero;
     Alcotest.test_case "value_at across segments" `Quick test_value_at;
     Alcotest.test_case "min_on and max_on" `Quick test_min_max_on;
+    Alcotest.test_case "empty and bad windows" `Quick test_empty_and_bad_windows;
     Alcotest.test_case "integral_on" `Quick test_integral;
     Alcotest.test_case "pointwise add and sub" `Quick test_add_sub;
     Alcotest.test_case "change over a window" `Quick test_change;

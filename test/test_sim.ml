@@ -41,6 +41,27 @@ let prop_heap_sorts =
       in
       drain 0)
 
+let test_heap_pop_clears_slots () =
+  (* Popped entries must not linger in the backing array: the heap would
+     otherwise pin every payload it ever held until the array is overwritten
+     or collected. [live_entries] counts occupied slots structurally. *)
+  let h = Event_heap.create () in
+  for i = 0 to 99 do
+    Event_heap.push h ~time:(i * 7 mod 31) i
+  done;
+  Alcotest.(check int) "full" 100 (Event_heap.live_entries h);
+  for _ = 1 to 60 do
+    ignore (Event_heap.pop h)
+  done;
+  Alcotest.(check int) "popped slots vacated" 40 (Event_heap.live_entries h);
+  while not (Event_heap.is_empty h) do
+    ignore (Event_heap.pop h)
+  done;
+  Alcotest.(check int) "empty heap retains nothing" 0 (Event_heap.live_entries h);
+  Event_heap.push h ~time:1 0;
+  Event_heap.clear h;
+  Alcotest.(check int) "clear retains nothing" 0 (Event_heap.live_entries h)
+
 (* --- simulator + policies --- *)
 
 let submit_all_at inst t0 =
@@ -343,6 +364,7 @@ let suite =
     Alcotest.test_case "heap interleaved push/pop" `Quick test_heap_interleaved;
     Alcotest.test_case "heap rejects negative times" `Quick test_heap_rejects_negative;
     prop_heap_sorts;
+    Alcotest.test_case "heap pop clears vacated slots" `Quick test_heap_pop_clears_slots;
     Alcotest.test_case "aggressive = offline LSRC at t=0" `Quick test_aggressive_equals_offline_lsrc;
     Alcotest.test_case "FCFS policy blocks behind head" `Quick test_fcfs_policy_order;
     Alcotest.test_case "no job before its submission" `Quick test_arrival_order_respected;

@@ -66,6 +66,28 @@ let test_to_workload_clamps () =
     Alcotest.(check int) "submit" 0 submit
   | _ -> Alcotest.fail "one job expected"
 
+let test_to_workload_skips_phantoms () =
+  (* Entries with neither a positive run nor a positive req_time carry no
+     work (cancelled before start); they used to surface as phantom
+     1-second jobs. Kept entries are renumbered consecutively. *)
+  let worker run req_time = { Swf.default with Swf.req_procs = 2; run; req_time } in
+  let entries = [ worker 10 (-1); worker 0 0; worker (-1) (-1); worker (-1) 7 ] in
+  match Swf.to_workload entries ~m:8 with
+  | [ (a, _); (b, _) ] ->
+    Alcotest.(check int) "real job kept" 10 (Job.p a);
+    Alcotest.(check int) "req_time fallback kept" 7 (Job.p b);
+    Alcotest.(check int) "ids renumbered" 1 (Job.id b)
+  | l -> Alcotest.fail (Printf.sprintf "%d jobs, expected 2" (List.length l))
+
+let test_to_workload_keep_failed () =
+  let entry status = { Swf.default with Swf.req_procs = 1; run = 5; status } in
+  let entries = [ entry 1; entry 0; entry 5 ] in
+  Alcotest.(check int) "failed kept by default" 3 (List.length (Swf.to_workload entries ~m:4));
+  Alcotest.(check int) "failed dropped on request" 2
+    (List.length (Swf.to_workload ~keep_failed:false entries ~m:4));
+  Alcotest.(check int) "estimated workload filters too" 2
+    (List.length (Swf.to_estimated_workload ~keep_failed:false entries ~m:4))
+
 let test_of_workload_waits () =
   let job = Job.make ~id:0 ~p:10 ~q:4 in
   match Swf.of_workload [ (job, 3, 8) ] with
@@ -105,6 +127,8 @@ let suite =
     Alcotest.test_case "errors cite line numbers" `Quick test_parse_string_line_numbers;
     Alcotest.test_case "writer/parser round trip" `Quick test_round_trip;
     Alcotest.test_case "to_workload clamps and falls back" `Quick test_to_workload_clamps;
+    Alcotest.test_case "to_workload skips phantom entries" `Quick test_to_workload_skips_phantoms;
+    Alcotest.test_case "keep_failed filters status 0" `Quick test_to_workload_keep_failed;
     Alcotest.test_case "of_workload computes waits" `Quick test_of_workload_waits;
     Alcotest.test_case "generated trace drives the simulator" `Quick test_generated_trace_drives_simulator;
     prop_round_trip;

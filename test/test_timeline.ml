@@ -1,0 +1,186 @@
+(* Timeline vs Profile: the mutable segment tree must be observationally
+   identical to the persistent profile it replaces on every operation the
+   schedulers perform — enforced on random op sequences and on whole
+   scheduler runs against the retained Profile-backed reference
+   implementations. *)
+
+open Resa_core
+
+let steps = Alcotest.(list (pair int int))
+
+(* --- unit tests --------------------------------------------------------- *)
+
+let test_constant () =
+  let tl = Timeline.create 7 in
+  Alcotest.(check int) "value at 0" 7 (Timeline.value_at tl 0);
+  Alcotest.(check int) "value far out" 7 (Timeline.value_at tl 123_456);
+  Alcotest.(check int) "last breakpoint" 0 (Timeline.last_breakpoint tl);
+  Alcotest.(check (option int)) "no breakpoint" None (Timeline.next_breakpoint_after tl 3);
+  Alcotest.check steps "to_profile" [ (0, 7) ] (Profile.to_steps (Timeline.to_profile tl))
+
+let test_roundtrip () =
+  let p = Profile.of_steps [ (0, 5); (3, 1); (6, 8); (11, 2) ] in
+  let tl = Timeline.of_profile p in
+  Alcotest.(check bool) "roundtrip" true (Profile.equal p (Timeline.to_profile tl));
+  let tl = Timeline.of_profile ~horizon:1024 p in
+  Alcotest.(check bool) "with horizon" true (Profile.equal p (Timeline.to_profile tl))
+
+let test_change_reserve () =
+  let tl = Timeline.create 4 in
+  Timeline.change tl ~lo:2 ~hi:5 ~delta:(-3);
+  Alcotest.(check int) "inside" 1 (Timeline.value_at tl 3);
+  Alcotest.(check int) "outside" 4 (Timeline.value_at tl 5);
+  Timeline.reserve tl ~start:0 ~dur:2 ~need:4;
+  Alcotest.(check int) "reserved" 0 (Timeline.value_at tl 1);
+  Alcotest.check_raises "insufficient"
+    (Invalid_argument "Timeline.reserve: insufficient capacity in window") (fun () ->
+      Timeline.reserve tl ~start:1 ~dur:3 ~need:2);
+  (* Inverse range-add undoes a reservation exactly. *)
+  Timeline.change tl ~lo:0 ~hi:2 ~delta:4;
+  Timeline.change tl ~lo:2 ~hi:5 ~delta:3;
+  Alcotest.(check bool) "back to constant" true
+    (Profile.equal (Profile.constant 4) (Timeline.to_profile tl))
+
+let test_empty_window () =
+  let tl = Timeline.create 3 in
+  Alcotest.(check int) "min identity" max_int (Timeline.min_on tl ~lo:5 ~hi:5);
+  Alcotest.(check int) "max identity" min_int (Timeline.max_on tl ~lo:5 ~hi:5);
+  Alcotest.check_raises "bad window" (Invalid_argument "Timeline: bad window") (fun () ->
+      ignore (Timeline.min_on tl ~lo:6 ~hi:5))
+
+let test_earliest_fit () =
+  let p = Profile.of_steps [ (0, 2); (4, 0); (6, 5) ] in
+  let tl = Timeline.of_profile p in
+  Alcotest.(check (option int)) "fits at once" (Some 0)
+    (Timeline.earliest_fit tl ~from:0 ~dur:3 ~need:2);
+  Alcotest.(check (option int)) "must jump the hole" (Some 6)
+    (Timeline.earliest_fit tl ~from:0 ~dur:5 ~need:2);
+  Alcotest.(check (option int)) "need too high" None
+    (Timeline.earliest_fit tl ~from:0 ~dur:1 ~need:6);
+  Alcotest.(check (option int)) "far from" (Some 50)
+    (Timeline.earliest_fit tl ~from:50 ~dur:4 ~need:5)
+
+let test_forward_view () =
+  let p = Profile.of_steps [ (0, 9); (2, 1); (5, 6) ] in
+  let tl = Timeline.of_profile p in
+  let fwd = Timeline.to_profile ~from:3 tl in
+  Alcotest.check steps "past collapsed" [ (0, 1); (5, 6) ] (Profile.to_steps fwd)
+
+(* --- randomized differential: operation sequences ----------------------- *)
+
+let ops_agree seed =
+  let rng = Prng.create ~seed in
+  let p = ref (Tutil.profile_of_seed seed) in
+  let tl = Timeline.of_profile !p in
+  let ok = ref true in
+  let check name b = if not b then (Printf.eprintf "mismatch: %s (seed %d)\n" name seed; ok := false) in
+  for _ = 1 to 40 do
+    match Prng.int rng ~bound:8 with
+    | 0 ->
+      let lo = Prng.int rng ~bound:50 and len = Prng.int_incl rng ~lo:1 ~hi:20 in
+      let delta = Prng.int_incl rng ~lo:(-4) ~hi:4 in
+      p := Profile.change !p ~lo ~hi:(lo + len) ~delta;
+      Timeline.change tl ~lo ~hi:(lo + len) ~delta
+    | 1 ->
+      let start = Prng.int rng ~bound:40 and dur = Prng.int_incl rng ~lo:1 ~hi:10 in
+      let mn = Profile.min_on !p ~lo:start ~hi:(start + dur) in
+      check "min before reserve" (mn = Timeline.min_on tl ~lo:start ~hi:(start + dur));
+      if mn >= 1 then begin
+        let need = Prng.int_incl rng ~lo:1 ~hi:mn in
+        p := Profile.reserve !p ~start ~dur ~need;
+        Timeline.reserve tl ~start ~dur ~need
+      end
+    | 2 ->
+      let x = Prng.int rng ~bound:100 in
+      check "value_at" (Profile.value_at !p x = Timeline.value_at tl x)
+    | 3 ->
+      let lo = Prng.int rng ~bound:60 in
+      let hi = lo + Prng.int rng ~bound:25 in
+      if lo = hi then begin
+        check "empty min" (Timeline.min_on tl ~lo ~hi = max_int);
+        check "empty max" (Timeline.max_on tl ~lo ~hi = min_int)
+      end
+      else begin
+        check "min_on" (Profile.min_on !p ~lo ~hi = Timeline.min_on tl ~lo ~hi);
+        check "max_on" (Profile.max_on !p ~lo ~hi = Timeline.max_on tl ~lo ~hi)
+      end
+    | 4 ->
+      let from = Prng.int rng ~bound:60 and dur = Prng.int_incl rng ~lo:1 ~hi:10 in
+      let need = Prng.int_incl rng ~lo:(-1) ~hi:12 in
+      check "earliest_fit"
+        (Profile.earliest_fit !p ~from ~dur ~need = Timeline.earliest_fit tl ~from ~dur ~need)
+    | 5 ->
+      let x = Prng.int rng ~bound:80 in
+      check "next_breakpoint_after"
+        (Profile.next_breakpoint_after !p x = Timeline.next_breakpoint_after tl x)
+    | 6 -> check "last_breakpoint" (Profile.last_breakpoint !p = Timeline.last_breakpoint tl)
+    | _ ->
+      let from = Prng.int rng ~bound:50 in
+      let fwd = Timeline.to_profile ~from tl in
+      let expect x = if x < from then Profile.value_at !p from else Profile.value_at !p x in
+      let agree = ref true in
+      for x = 0 to 70 do
+        if Profile.value_at fwd x <> expect x then agree := false
+      done;
+      check "forward view" !agree
+  done;
+  !ok && Profile.equal !p (Timeline.to_profile tl)
+
+(* --- randomized differential: whole scheduler runs ---------------------- *)
+
+let resa_instance_of_seed seed =
+  (* Sized so the O(n·k) reference oracles stay fast; always with a shot at
+     a non-trivial reservation set. *)
+  let rng = Prng.create ~seed in
+  let m = Prng.int_incl rng ~lo:2 ~hi:16 in
+  let n = Prng.int_incl rng ~lo:1 ~hi:40 in
+  let jobs =
+    List.init n (fun i ->
+        Job.make ~id:i ~p:(Prng.int_incl rng ~lo:1 ~hi:15) ~q:(Prng.int_incl rng ~lo:1 ~hi:m))
+  in
+  let n_res = Prng.int_incl rng ~lo:0 ~hi:6 in
+  let reservations = ref [] in
+  let u = ref (Profile.constant 0) in
+  for i = 0 to n_res - 1 do
+    let start = Prng.int rng ~bound:40 in
+    let p = Prng.int_incl rng ~lo:1 ~hi:12 in
+    let q = Prng.int_incl rng ~lo:1 ~hi:m in
+    let u' = Profile.change !u ~lo:start ~hi:(start + p) ~delta:q in
+    if Profile.max_value u' <= m - 1 then begin
+      (* Keep one processor always free so every job can eventually run. *)
+      u := u';
+      reservations := Reservation.make ~id:i ~start ~p ~q :: !reservations
+    end
+  done;
+  Instance.create_exn ~m ~jobs ~reservations:!reservations
+
+let starts inst sched = List.init (Instance.n_jobs inst) (Schedule.start sched)
+
+let same_schedule name fast reference seed =
+  let inst = resa_instance_of_seed seed in
+  let order = Resa_algos.Priority.order Resa_algos.Priority.Fifo inst in
+  let a = starts inst (fast inst order) in
+  let b = starts inst (reference inst order) in
+  if a <> b then Printf.eprintf "%s diverges on seed %d\n" name seed;
+  a = b
+
+let suite =
+  [
+    Alcotest.test_case "constant timeline" `Quick test_constant;
+    Alcotest.test_case "profile roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "change and reserve" `Quick test_change_reserve;
+    Alcotest.test_case "empty windows" `Quick test_empty_window;
+    Alcotest.test_case "earliest fit" `Quick test_earliest_fit;
+    Alcotest.test_case "forward view" `Quick test_forward_view;
+    Tutil.qcheck ~count:1000 "random op sequences match Profile" Tutil.seed_arb ops_agree;
+    Tutil.qcheck ~count:300 "LSRC = Profile-backed LSRC" Tutil.seed_arb
+      (same_schedule "lsrc" Resa_algos.Lsrc.run_order Resa_algos.Lsrc.run_order_reference);
+    Tutil.qcheck ~count:300 "FCFS = Profile-backed FCFS" Tutil.seed_arb
+      (same_schedule "fcfs" Resa_algos.Fcfs.run_order Resa_algos.Fcfs.run_order_reference);
+    Tutil.qcheck ~count:300 "conservative = Profile-backed conservative" Tutil.seed_arb
+      (same_schedule "conservative" Resa_algos.Backfill.conservative_order
+         Resa_algos.Backfill.conservative_order_reference);
+    Tutil.qcheck ~count:300 "EASY = Profile-backed EASY" Tutil.seed_arb
+      (same_schedule "easy" Resa_algos.Backfill.easy_order
+         Resa_algos.Backfill.easy_order_reference);
+  ]
