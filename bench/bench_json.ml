@@ -1,0 +1,68 @@
+(* Machine-readable bench trajectory. When a destination directory is
+   configured (--json PATH on the harness, or the RESA_BENCH_JSON
+   environment variable), each perf experiment also writes
+   BENCH_<experiment>.json: a JSON array of uniform records
+
+     {experiment, n, algo, wall_s, speedup, domains, seed, git_rev}
+
+   so future PRs can diff wall-clock numbers against a recorded
+   baseline instead of eyeballing table output. *)
+
+type record = {
+  experiment : string;
+  n : int;  (* problem size of the row; 0 when not applicable *)
+  algo : string;  (* algorithm / benchmark name *)
+  wall_s : float;  (* measured wall-clock seconds (per run) *)
+  speedup : float option;  (* vs the experiment's reference, if any *)
+  domains : int;  (* executor pool size during the measurement *)
+  seed : int;  (* PRNG seed of the measured workload *)
+}
+
+let configured_dir = ref None
+let set_dir d = configured_dir := Some d
+
+let dir () =
+  match !configured_dir with
+  | Some _ as d -> d
+  | None -> Sys.getenv_opt "RESA_BENCH_JSON"
+
+(* Minimal JSON string escaping: the only dynamic strings are benchmark
+   names and the git revision. *)
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let record_to_json r =
+  Printf.sprintf
+    "{\"experiment\": \"%s\", \"n\": %d, \"algo\": \"%s\", \"wall_s\": %.6f, \"speedup\": %s, \
+     \"domains\": %d, \"seed\": %d, \"git_rev\": \"%s\"}"
+    (escape r.experiment) r.n (escape r.algo) r.wall_s
+    (match r.speedup with None -> "null" | Some s -> Printf.sprintf "%.3f" s)
+    r.domains r.seed
+    (escape (Git_rev.short ()))
+
+let write experiment records =
+  match dir () with
+  | None -> ()
+  | Some d ->
+    if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+    let path = Filename.concat d (Printf.sprintf "BENCH_%s.json" experiment) in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc "[\n";
+        List.iteri
+          (fun i r ->
+            if i > 0 then Out_channel.output_string oc ",\n";
+            Out_channel.output_string oc "  ";
+            Out_channel.output_string oc (record_to_json r))
+          records;
+        Out_channel.output_string oc "\n]\n");
+    Printf.printf "[bench json written to %s]\n" path

@@ -1,0 +1,61 @@
+(* Best-effort git revision for the bench trajectory records: resolved by
+   reading .git directly (no subprocess, no dependency), "unknown" when
+   anything is missing — benches must run from exported tarballs too. *)
+
+let read_line_of path =
+  try
+    In_channel.with_open_text path (fun ic ->
+        Option.map String.trim (In_channel.input_line ic))
+  with Sys_error _ -> None
+
+let rec find_git_dir dir =
+  let cand = Filename.concat dir ".git" in
+  if Sys.file_exists cand then
+    if Sys.is_directory cand then Some cand
+    else
+      (* Worktree/submodule: a file containing "gitdir: <path>". *)
+      match read_line_of cand with
+      | Some line when String.length line > 8 && String.sub line 0 8 = "gitdir: " ->
+        Some (String.sub line 8 (String.length line - 8))
+      | _ -> None
+  else
+    let parent = Filename.dirname dir in
+    if parent = dir then None else find_git_dir parent
+
+let packed_ref git_dir name =
+  try
+    In_channel.with_open_text (Filename.concat git_dir "packed-refs") (fun ic ->
+        let rec scan () =
+          match In_channel.input_line ic with
+          | None -> None
+          | Some line ->
+            if String.length line > 41 && String.sub line 41 (String.length line - 41) = name
+            then Some (String.sub line 0 40)
+            else scan ()
+        in
+        scan ())
+  with Sys_error _ -> None
+
+let resolve () =
+  match find_git_dir (Sys.getcwd ()) with
+  | None -> "unknown"
+  | Some git_dir -> (
+    match read_line_of (Filename.concat git_dir "HEAD") with
+    | None -> "unknown"
+    | Some head ->
+      let hash =
+        if String.length head > 5 && String.sub head 0 5 = "ref: " then begin
+          let name = String.sub head 5 (String.length head - 5) in
+          match read_line_of (Filename.concat git_dir name) with
+          | Some h -> Some h
+          | None -> packed_ref git_dir name
+        end
+        else Some head
+      in
+      (match hash with
+      | Some h when String.length h >= 12 -> String.sub h 0 12
+      | Some h when h <> "" -> h
+      | _ -> "unknown"))
+
+let get = lazy (resolve ())
+let short () = Lazy.force get

@@ -1,7 +1,17 @@
 (* Benchmark harness: regenerates every figure of the paper (FIG1-FIG4),
-   the supplementary validation tables (T1-T3), the alpha-cap ablation, and
+   the supplementary validation tables (T1-T5), the alpha-cap ablation, and
    Bechamel microbenchmarks. `dune exec bench/main.exe` prints everything;
-   pass experiment names (fig1 fig3 t2 perf ...) to run a subset. *)
+   pass experiment names (fig1 fig3 t2 perf ...) to run a subset.
+
+   Flags:
+     --jobs N     executor pool size (overrides RESA_DOMAINS; default:
+                  Domain.recommended_domain_count, capped at 8)
+     --json PATH  write BENCH_<experiment>.json trajectory records for the
+                  perf experiments into directory PATH (also settable via
+                  RESA_BENCH_JSON)
+     --small      reduced problem sizes for the scaling sweep (CI smoke) *)
+
+open Resa_bench
 
 let registry =
   [
@@ -19,9 +29,33 @@ let registry =
     ("scaling", Perf.scaling);
   ]
 
+let usage () =
+  Printf.eprintf "usage: main.exe [--jobs N] [--json DIR] [--small] [experiment ...]\n";
+  Printf.eprintf "available experiments: %s\n" (String.concat " " (List.map fst registry));
+  exit 1
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  match args with
+  let rec parse names = function
+    | [] -> List.rev names
+    | "--jobs" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 ->
+        Resa_par.set_domains n;
+        parse names rest
+      | _ ->
+        Printf.eprintf "--jobs expects a positive integer, got %S\n" v;
+        exit 1)
+    | "--json" :: dir :: rest ->
+      Bench_json.set_dir dir;
+      parse names rest
+    | "--small" :: rest ->
+      Perf.small := true;
+      parse names rest
+    | ("--jobs" | "--json") :: [] -> usage ()
+    | name :: rest -> parse (name :: names) rest
+  in
+  let names = parse [] (List.tl (Array.to_list Sys.argv)) in
+  match names with
   | [] ->
     Experiments.run_all ();
     Perf.run ()

@@ -4,12 +4,17 @@ open Bechamel
 open Resa_core
 open Resa_gen
 
+(* Reduced-size mode for CI smoke runs (--small on the harness). *)
+let small = ref false
+
 let workload n =
   let rng = Prng.create ~seed:1234 in
   Random_inst.cluster_workload rng ~m:128 ~n ~max_runtime:100
 
+let reserved_workload_seed = 1235
+
 let reserved_workload n =
-  let rng = Prng.create ~seed:1235 in
+  let rng = Prng.create ~seed:reserved_workload_seed in
   Random_inst.alpha_restricted rng ~m:128 ~n ~alpha:0.5 ~pmax:100 ~n_reservations:(n / 5) ()
 
 let algorithm_tests =
@@ -68,13 +73,27 @@ let simulator_tests =
 
 let all_tests = algorithm_tests @ profile_tests @ heap_tests @ simulator_tests
 
+(* Parse the trailing "n=<d>" convention of benchmark names, for the JSON
+   records ("lsrc/n=200" -> 200); 0 when the name carries no size. *)
+let size_of_name name =
+  match String.rindex_opt name '=' with
+  | None -> 0
+  | Some i -> (
+    match int_of_string_opt (String.sub name (i + 1) (String.length name - i - 1)) with
+    | Some n -> n
+    | None -> 0)
+
 (* --- timeline vs profile scaling series --------------------------------- *)
 
 (* Whole-schedule wall clock at n in {1k, 5k, 20k}: the segment-tree
    timeline path against the retained Profile-backed reference. The
    quadratic reference is capped per algorithm so the series itself stays
    tractable; above the cap only the timeline column is measured. LSRC is
-   left uncapped — its 20k row is the headline before/after number. *)
+   left uncapped — its 20k row is the headline before/after number.
+
+   Workload construction fans out over the Resa_par pool; the timed
+   sections themselves run sequentially so the measurements never contend
+   for cores. *)
 let scaling () =
   Printf.printf
     "\n=== PERF: Timeline vs Profile scaling (one full run, m=128, n/5 reservations) ===\n";
@@ -97,28 +116,53 @@ let scaling () =
       ("easy", Resa_algos.Backfill.easy_order, Resa_algos.Backfill.easy_order_reference, 1_000);
     ]
   in
+  let sizes = if !small then [| 1_000 |] else [| 1_000; 5_000; 20_000 |] in
+  let prepared =
+    Resa_par.parallel_map
+      (fun n ->
+        let inst = reserved_workload n in
+        (n, inst, Resa_algos.Priority.order Resa_algos.Priority.Fifo inst))
+      sizes
+  in
   let t =
     Resa_stats.Table.create ~headers:[ "algorithm"; "n"; "timeline"; "profile"; "speedup" ]
   in
-  List.iter
-    (fun n ->
-      let inst = reserved_workload n in
-      let order = Resa_algos.Priority.order Resa_algos.Priority.Fifo inst in
+  let records = ref [] in
+  Array.iter
+    (fun (n, inst, order) ->
       List.iter
         (fun (name, fast, reference, ref_cap) ->
           let fast_s = time fast inst order in
-          let ref_cell, speedup_cell =
-            if n > ref_cap then ("(skipped)", "-")
+          let speedup =
+            if n > ref_cap then None
             else begin
               let ref_s = time reference inst order in
-              (pretty ref_s, Printf.sprintf "%.1fx" (ref_s /. Float.max fast_s 1e-9))
+              Some (ref_s, ref_s /. Float.max fast_s 1e-9)
             end
           in
+          let ref_cell, speedup_cell =
+            match speedup with
+            | None -> ("(skipped)", "-")
+            | Some (ref_s, sp) -> (pretty ref_s, Printf.sprintf "%.1fx" sp)
+          in
+          records :=
+            Bench_json.
+              {
+                experiment = "scaling";
+                n;
+                algo = name;
+                wall_s = fast_s;
+                speedup = Option.map snd speedup;
+                domains = Resa_par.domain_count ();
+                seed = reserved_workload_seed;
+              }
+            :: !records;
           Resa_stats.Table.add_row t
             [ name; string_of_int n; pretty fast_s; ref_cell; speedup_cell ])
         algos)
-    [ 1_000; 5_000; 20_000 ];
-  print_string (Resa_stats.Table.render t)
+    prepared;
+  print_string (Resa_stats.Table.render t);
+  Bench_json.write "scaling" (List.rev !records)
 
 let run () =
   Printf.printf "\n=== PERF: Bechamel microbenchmarks (ns/run, OLS fit) ===\n";
@@ -128,6 +172,7 @@ let run () =
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~stabilize:false () in
   let t = Resa_stats.Table.create ~headers:[ "benchmark"; "time/run"; "r^2" ] in
+  let records = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -145,8 +190,21 @@ let run () =
             else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
             else Printf.sprintf "%.0f ns" ns
           in
+          records :=
+            Bench_json.
+              {
+                experiment = "perf";
+                n = size_of_name name;
+                algo = name;
+                wall_s = (if Float.is_nan ns then 0.0 else ns /. 1e9);
+                speedup = None;
+                domains = Resa_par.domain_count ();
+                seed = reserved_workload_seed;
+              }
+            :: !records;
           Resa_stats.Table.add_row t [ name; pretty; Printf.sprintf "%.3f" r2 ])
         results)
     all_tests;
   print_string (Resa_stats.Table.render t);
+  Bench_json.write "perf" (List.rev !records);
   scaling ()

@@ -22,6 +22,17 @@ open Resa_algos
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed (reproducible).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel sections (overrides $(b,RESA_DOMAINS); results are \
+           identical at any value).")
+
+let apply_jobs = Option.iter Resa_par.set_domains
+
 let read_instance path =
   match if path = "-" then Instance_io.of_string (In_channel.input_all stdin) else Instance_io.read_file path with
   | Ok inst -> inst
@@ -173,7 +184,8 @@ let solve_cmd =
 (* simulate                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let simulate swf_path m n max_runtime mean_gap seed policy_name overestimate =
+let simulate swf_path m n max_runtime mean_gap seed policy_name overestimate jobs =
+  apply_jobs jobs;
   let rng = Prng.create ~seed in
   let entries =
     match swf_path with
@@ -200,12 +212,16 @@ let simulate swf_path m n max_runtime mean_gap seed policy_name overestimate =
       exit 2
   in
   print_endline Resa_sim.Metrics.header;
-  List.iter
+  (* One independent simulation per policy: fan out over the domain pool
+     (row order, and hence output, is policy order regardless of pool
+     size). *)
+  Resa_par.parallel_map_list
     (fun policy ->
       let trace = Resa_sim.Simulator.run_estimated ~policy ~m ~estimates subs in
       let s = Resa_sim.Metrics.summarize trace in
-      print_endline (Resa_sim.Metrics.row ~name:policy.Resa_sim.Policy.name s))
+      Resa_sim.Metrics.row ~name:policy.Resa_sim.Policy.name s)
     policies
+  |> List.iter print_endline
 
 let simulate_cmd =
   let swf =
@@ -224,7 +240,9 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Online simulation of a (synthetic or SWF) trace")
-    Term.(const simulate $ swf $ m $ n $ max_runtime $ mean_gap $ seed_arg $ policy $ overestimate)
+    Term.(
+      const simulate $ swf $ m $ n $ max_runtime $ mean_gap $ seed_arg $ policy $ overestimate
+      $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)

@@ -7,9 +7,10 @@ let worst_order ?(restarts = 4) ?(iterations = 60) rng inst =
   let n = Instance.n_jobs inst in
   if n = 0 then ([||], 0)
   else begin
-    let best_order = ref (Array.init n (fun i -> i)) in
-    let best = ref (makespan_of_order inst !best_order) in
-    for _ = 1 to restarts do
+    (* Each restart climbs with its own generator, pre-split from [rng]
+       by [parallel_replicates] before any restart runs: the fan-out is
+       embarrassingly parallel yet bit-identical at any domain count. *)
+    let climb rng _idx =
       let order = Array.init n (fun i -> i) in
       Prng.shuffle rng order;
       let current = ref (makespan_of_order inst order) in
@@ -37,11 +38,20 @@ let worst_order ?(restarts = 4) ?(iterations = 60) rng inst =
           end
         end
       done;
-      if !current > !best then begin
-        best := !current;
-        best_order := Array.copy order
-      end
-    done;
+      (order, !current)
+    in
+    let results = Resa_par.parallel_replicates rng ~n:restarts climb in
+    (* Fixed reduction order (ascending restart, strict improvement only)
+       reproduces the sequential loop's tie-breaking exactly. *)
+    let best_order = ref (Array.init n (fun i -> i)) in
+    let best = ref (makespan_of_order inst !best_order) in
+    Array.iter
+      (fun (order, v) ->
+        if v > !best then begin
+          best := v;
+          best_order := order
+        end)
+      results;
     (!best_order, !best)
   end
 

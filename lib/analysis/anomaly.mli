@@ -14,8 +14,11 @@ val worst_order : ?restarts:int -> ?iterations:int -> Prng.t -> Instance.t -> in
 (** [worst_order rng inst] hill-climbs over job permutations (random
     restarts, best pairwise-swap moves) to maximise the LSRC makespan.
     Returns the worst order found and its makespan — a certified *lower*
-    bound on the instance's worst-case list behaviour. Deterministic given
-    the generator state. Defaults: 4 restarts, 60 iterations each. *)
+    bound on the instance's worst-case list behaviour. The restarts fan
+    out over the {!Resa_par} pool with per-restart generators pre-split
+    from [rng], so the result is deterministic given the generator state
+    and independent of the domain count. Defaults: 4 restarts, 60
+    iterations each. *)
 
 type removal_anomaly = {
   removed : int;  (** Job index whose removal lengthens the schedule. *)

@@ -16,15 +16,59 @@ let min_max = function
   | [] -> invalid_arg "Stats.min_max: empty list"
   | x :: xs -> List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) xs
 
+(* Nearest-rank percentile on an already sorted array: O(1). *)
+let percentile_of_sorted a ~p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let n = Array.length a in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  a.(max 0 (min (n - 1) (rank - 1)))
+
+let sorted_of_list xs =
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  a
+
+type summary = {
+  count : int;
+  mean : float;
+  std : float;
+  min : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+let describe xs =
+  match xs with
+  | [] -> None
+  | _ ->
+    let a = sorted_of_list xs in
+    let n = Array.length a in
+    (* Welford's recurrence: mean and second moment in one fold. *)
+    let _, mu, m2 =
+      Array.fold_left
+        (fun (k, mu, m2) x ->
+          let k = k + 1 in
+          let d = x -. mu in
+          let mu = mu +. (d /. float_of_int k) in
+          (k, mu, m2 +. (d *. (x -. mu))))
+        (0, 0.0, 0.0) a
+    in
+    Some
+      {
+        count = n;
+        mean = mu;
+        std = sqrt (m2 /. float_of_int n);
+        min = a.(0);
+        p50 = percentile_of_sorted a ~p:50.0;
+        p95 = percentile_of_sorted a ~p:95.0;
+        max = a.(n - 1);
+      }
+
 let percentile xs ~p =
   match xs with
   | [] -> invalid_arg "Stats.percentile: empty list"
-  | _ ->
-    if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
-    let sorted = List.sort Float.compare xs in
-    let n = List.length sorted in
-    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
-    List.nth sorted (max 0 (min (n - 1) (rank - 1)))
+  | _ -> percentile_of_sorted (sorted_of_list xs) ~p
 
 let median xs = percentile xs ~p:50.0
 
@@ -34,21 +78,26 @@ let histogram ~bins xs =
   | [] -> []
   | _ ->
     let lo, hi = min_max xs in
-    let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
-    let counts = Array.make bins 0 in
-    List.iter
-      (fun x ->
-        let b = int_of_float ((x -. lo) /. width) in
-        let b = max 0 (min (bins - 1) b) in
-        counts.(b) <- counts.(b) + 1)
-      xs;
-    List.init bins (fun b ->
-        (lo +. (float_of_int b *. width), lo +. (float_of_int (b + 1) *. width), counts.(b)))
+    if hi <= lo then
+      (* Degenerate range: all samples coincide, so fabricated empty bins
+         beyond the data would be a lie — collapse to one bin. *)
+      [ (lo, hi, List.length xs) ]
+    else begin
+      let width = (hi -. lo) /. float_of_int bins in
+      let counts = Array.make bins 0 in
+      List.iter
+        (fun x ->
+          let b = int_of_float ((x -. lo) /. width) in
+          let b = max 0 (min (bins - 1) b) in
+          counts.(b) <- counts.(b) + 1)
+        xs;
+      List.init bins (fun b ->
+          (lo +. (float_of_int b *. width), lo +. (float_of_int (b + 1) *. width), counts.(b)))
+    end
 
 let summary_line xs =
-  match xs with
-  | [] -> "n=0"
-  | _ ->
-    let lo, hi = min_max xs in
-    Printf.sprintf "n=%d mean=%.3f std=%.3f min=%.3f p50=%.3f max=%.3f" (List.length xs)
-      (mean xs) (stddev xs) lo (median xs) hi
+  match describe xs with
+  | None -> "n=0"
+  | Some d ->
+    Printf.sprintf "n=%d mean=%.3f std=%.3f min=%.3f p50=%.3f max=%.3f" d.count d.mean d.std
+      d.min d.p50 d.max

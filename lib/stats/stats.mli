@@ -11,13 +11,32 @@ val stddev : float list -> float
 val min_max : float list -> float * float
 (** Raises [Invalid_argument] on the empty list. *)
 
+type summary = {
+  count : int;
+  mean : float;
+  std : float;  (** Population standard deviation (Welford). *)
+  min : float;
+  p50 : float;  (** Nearest-rank median. *)
+  p95 : float;  (** Nearest-rank 95th percentile. *)
+  max : float;
+}
+
+val describe : float list -> summary option
+(** Full summary in a single pass: one sort plus one fold. [None] on the
+    empty list. {!summary_line}, {!median} and {!percentile} are thin
+    wrappers over the same sorted-array machinery. *)
+
 val percentile : float list -> p:float -> float
-(** Nearest-rank percentile, [p ∈ [0, 100]]. Raises on the empty list. *)
+(** Nearest-rank percentile, [p ∈ [0, 100]]. Raises on the empty list.
+    Sorts into an array once; the rank lookup itself is O(1). *)
 
 val median : float list -> float
 
 val histogram : bins:int -> float list -> (float * float * int) list
-(** Equal-width bins [(lo, hi, count)] spanning the data range. *)
+(** Equal-width bins [(lo, hi, count)] spanning the data range. When the
+    range is degenerate (all samples equal) the result collapses to the
+    single bin [(lo, lo, n)] instead of reporting [bins - 1] fabricated
+    empty ranges beyond the data. *)
 
 val summary_line : float list -> string
 (** "n=… mean=… std=… min=… p50=… max=…" *)

@@ -24,5 +24,6 @@ let () =
       ("simulator", Test_sim.suite);
       ("swf", Test_swf.suite);
       ("stats", Test_stats.suite);
+      ("par", Test_par.suite);
       ("instance-io", Test_io.suite);
     ]

@@ -31,9 +31,50 @@ let test_histogram () =
   Alcotest.(check int) "total preserved" 4 (List.fold_left ( + ) 0 counts)
 
 let test_histogram_constant_data () =
+  (* Degenerate range: no fabricated empty bins beyond the data — the
+     result collapses to the single zero-width bin holding everything. *)
   let h = Stats.histogram ~bins:3 [ 5.0; 5.0; 5.0 ] in
-  Alcotest.(check int) "all in one bin" 3
-    (List.fold_left (fun acc (_, _, c) -> acc + c) 0 h)
+  Alcotest.(check int) "collapses to a single bin" 1 (List.length h);
+  (match h with
+  | [ (lo, hi, c) ] ->
+    feq "bin lo" 5.0 lo;
+    feq "bin hi" 5.0 hi;
+    Alcotest.(check int) "bin holds all samples" 3 c
+  | _ -> Alcotest.fail "expected exactly one bin");
+  Alcotest.(check int) "singleton sample too" 1
+    (List.length (Stats.histogram ~bins:10 [ -2.5 ]))
+
+let test_describe () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  match Stats.describe xs with
+  | None -> Alcotest.fail "describe of non-empty list"
+  | Some d ->
+    Alcotest.(check int) "count" 100 d.Stats.count;
+    feq "mean" 50.5 d.Stats.mean;
+    feq "min" 1.0 d.Stats.min;
+    feq "max" 100.0 d.Stats.max;
+    feq "p50" 50.0 d.Stats.p50;
+    feq "p95" 95.0 d.Stats.p95;
+    Alcotest.(check (float 1e-9)) "std (Welford = two-pass)" (Stats.stddev xs) d.Stats.std
+
+let test_describe_empty () =
+  Alcotest.(check bool) "None on empty" true (Stats.describe [] = None)
+
+let prop_describe_agrees_with_wrappers =
+  Tutil.qcheck "describe agrees with the legacy functions"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 40) (float_range (-50.) 50.))
+    (fun xs ->
+      match Stats.describe xs with
+      | None -> false
+      | Some d ->
+        let lo, hi = Stats.min_max xs in
+        let close a b = Float.abs (a -. b) <= 1e-9 in
+        d.Stats.count = List.length xs
+        && close d.Stats.mean (Stats.mean xs)
+        && close d.Stats.std (Stats.stddev xs)
+        && d.Stats.min = lo && d.Stats.max = hi
+        && d.Stats.p50 = Stats.median xs
+        && d.Stats.p95 = Stats.percentile xs ~p:95.0)
 
 let test_summary_line () =
   let s = Stats.summary_line [ 1.0; 2.0; 3.0 ] in
@@ -82,6 +123,9 @@ let suite =
     Alcotest.test_case "percentiles" `Quick test_percentiles;
     Alcotest.test_case "histogram" `Quick test_histogram;
     Alcotest.test_case "histogram of constant data" `Quick test_histogram_constant_data;
+    Alcotest.test_case "describe summary" `Quick test_describe;
+    Alcotest.test_case "describe of empty list" `Quick test_describe_empty;
+    prop_describe_agrees_with_wrappers;
     Alcotest.test_case "summary line" `Quick test_summary_line;
     Alcotest.test_case "table rendering" `Quick test_table_render;
     Alcotest.test_case "table rejects ragged rows" `Quick test_table_rejects_ragged;
