@@ -357,7 +357,7 @@ let t3 () =
   let entries = Resa_swf.Swf.generate rng ~m ~n ~max_runtime:200 ~mean_gap:6.0 in
   let workload = Resa_swf.Swf.to_workload entries ~m in
   (* Admit periodic demo reservations under the alpha cap. *)
-  let book = Resa_sim.Reservation_book.create ~m ~alpha:0.5 in
+  let book = Resa_sim.Reservation_book.create ~m ~alpha:0.5 () in
   let granted = ref 0 and rejected = ref 0 in
   for i = 0 to 19 do
     match

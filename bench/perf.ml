@@ -117,6 +117,7 @@ let scaling () =
     ]
   in
   let sizes = if !small then [| 1_000 |] else [| 1_000; 5_000; 20_000 |] in
+  let t_prep0 = Resa_obs.Prof.now_ns () in
   let prepared =
     Resa_par.parallel_map
       (fun n ->
@@ -124,6 +125,8 @@ let scaling () =
         (n, inst, Resa_algos.Priority.order Resa_algos.Priority.Fifo inst))
       sizes
   in
+  let prepare_s = float_of_int (Resa_obs.Prof.now_ns () - t_prep0) /. 1e9 in
+  let t_meas0 = Resa_obs.Prof.now_ns () in
   let t =
     Resa_stats.Table.create ~headers:[ "algorithm"; "n"; "timeline"; "profile"; "speedup" ]
   in
@@ -161,8 +164,24 @@ let scaling () =
             [ name; string_of_int n; pretty fast_s; ref_cell; speedup_cell ])
         algos)
     prepared;
+  let measure_s = float_of_int (Resa_obs.Prof.now_ns () - t_meas0) /. 1e9 in
   print_string (Resa_stats.Table.render t);
-  Bench_json.write "scaling" (List.rev !records)
+  (* Per-phase wall-time rows ride along in the same trajectory file; the
+     "phase:" prefix keeps them apart from per-algorithm measurements. *)
+  let phase name wall_s =
+    Bench_json.
+      {
+        experiment = "scaling";
+        n = 0;
+        algo = "phase:" ^ name;
+        wall_s;
+        speedup = None;
+        domains = Resa_par.domain_count ();
+        seed = reserved_workload_seed;
+      }
+  in
+  Bench_json.write "scaling"
+    (List.rev !records @ [ phase "prepare" prepare_s; phase "measure" measure_s ])
 
 let run () =
   Printf.printf "\n=== PERF: Bechamel microbenchmarks (ns/run, OLS fit) ===\n";
@@ -173,6 +192,7 @@ let run () =
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~stabilize:false () in
   let t = Resa_stats.Table.create ~headers:[ "benchmark"; "time/run"; "r^2" ] in
   let records = ref [] in
+  let t_bench0 = Resa_obs.Prof.now_ns () in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -205,6 +225,19 @@ let run () =
           Resa_stats.Table.add_row t [ name; pretty; Printf.sprintf "%.3f" r2 ])
         results)
     all_tests;
+  let microbench_s = float_of_int (Resa_obs.Prof.now_ns () - t_bench0) /. 1e9 in
   print_string (Resa_stats.Table.render t);
-  Bench_json.write "perf" (List.rev !records);
+  Bench_json.write "perf"
+    (List.rev !records
+    @ [
+        {
+          Bench_json.experiment = "perf";
+          n = 0;
+          algo = "phase:microbench";
+          wall_s = microbench_s;
+          speedup = None;
+          domains = Resa_par.domain_count ();
+          seed = reserved_workload_seed;
+        };
+      ]);
   scaling ()

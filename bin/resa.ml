@@ -4,6 +4,8 @@
      generate   emit an instance file from one of the built-in families
      solve      run a scheduling algorithm on an instance file
      simulate   online simulation of an SWF trace under a chosen policy
+                (--trace/--chrome/--csv export the observability streams)
+     explain    replay a JSONL event trace: per job, why it started when it did
      trace      emit a synthetic Standard Workload Format trace
      bounds     print the Figure 4 bound curves for a list of alphas
      info       summarise an instance file (bounds, alpha interval, profile)
@@ -184,7 +186,8 @@ let solve_cmd =
 (* simulate                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let simulate swf_path m n max_runtime mean_gap seed policy_name overestimate jobs =
+let simulate swf_path m n max_runtime mean_gap seed policy_name overestimate jobs trace_out
+    chrome_out csv_out =
   apply_jobs jobs;
   let rng = Prng.create ~seed in
   let entries =
@@ -200,28 +203,94 @@ let simulate swf_path m n max_runtime mean_gap seed policy_name overestimate job
   let triples = Resa_swf.Swf.to_estimated_workload entries ~m in
   let subs = List.map (fun (job, submit, _) -> Resa_sim.Simulator.{ job; submit }) triples in
   let estimates = Array.of_list (List.map (fun (_, _, e) -> e) triples) in
-  let policies =
+  let makers =
+    let open Resa_sim.Policy in
     match String.lowercase_ascii policy_name with
-    | "all" -> Resa_sim.Policy.all ()
-    | "fcfs" -> [ Resa_sim.Policy.fcfs () ]
-    | "easy" -> [ Resa_sim.Policy.easy () ]
-    | "cons" | "conservative" -> [ Resa_sim.Policy.conservative () ]
-    | "lsrc" | "aggressive" -> [ Resa_sim.Policy.aggressive () ]
+    | "all" ->
+      [
+        (fun obs -> fcfs ~obs ());
+        (fun obs -> conservative ~obs ());
+        (fun obs -> easy ~obs ());
+        (fun obs -> aggressive ~obs ());
+      ]
+    | "fcfs" -> [ (fun obs -> fcfs ~obs ()) ]
+    | "easy" -> [ (fun obs -> easy ~obs ()) ]
+    | "cons" | "conservative" -> [ (fun obs -> conservative ~obs ()) ]
+    | "lsrc" | "aggressive" -> [ (fun obs -> aggressive ~obs ()) ]
     | other ->
       Printf.eprintf "unknown policy %S\n" other;
       exit 2
   in
+  let trace_out =
+    match trace_out with Some _ as p -> p | None -> Sys.getenv_opt "RESA_TRACE"
+  in
+  let tracing = trace_out <> None || chrome_out <> None || csv_out <> None in
   print_endline Resa_sim.Metrics.header;
   (* One independent simulation per policy: fan out over the domain pool
      (row order, and hence output, is policy order regardless of pool
-     size). *)
-  Resa_par.parallel_map_list
-    (fun policy ->
-      let trace = Resa_sim.Simulator.run_estimated ~policy ~m ~estimates subs in
-      let s = Resa_sim.Metrics.summarize trace in
-      Resa_sim.Metrics.row ~name:policy.Resa_sim.Policy.name s)
-    policies
-  |> List.iter print_endline
+     size). Each run owns a private ring-buffer sink, so traced event
+     streams are deterministic at any pool size; they are serialised below
+     in policy order. *)
+  let results =
+    Resa_par.parallel_map_list
+      (fun maker ->
+        let obs = if tracing then Resa_obs.Trace.buffer () else Resa_obs.Trace.null in
+        let policy = maker obs in
+        let trace = Resa_sim.Simulator.run_estimated ~obs ~policy ~m ~estimates subs in
+        let s = Resa_sim.Metrics.summarize trace in
+        ( policy.Resa_sim.Policy.name,
+          Resa_sim.Metrics.row ~name:policy.Resa_sim.Policy.name s,
+          trace,
+          obs ))
+      makers
+  in
+  List.iter (fun (_, row, _, _) -> print_endline row) results;
+  Option.iter
+    (fun path ->
+      Out_channel.with_open_text path (fun oc ->
+          List.iter
+            (fun (name, _, _, obs) ->
+              Resa_obs.Trace.write_jsonl ~run:name oc (Resa_obs.Trace.contents obs))
+            results))
+    trace_out;
+  Option.iter
+    (fun path ->
+      let slices =
+        List.concat_map
+          (fun (name, _, trace, _) -> Resa_sim.Sim_trace.chrome_slices ~process:name trace)
+          results
+        @ (if Resa_obs.Prof.enabled () then
+             Resa_obs.Chrome.of_spans ~process:"executor" (Resa_obs.Prof.spans ())
+           else [])
+      in
+      Out_channel.with_open_text path (fun oc -> Resa_obs.Chrome.write oc slices))
+    chrome_out;
+  Option.iter
+    (fun path ->
+      Out_channel.with_open_text path (fun oc ->
+          List.iteri
+            (fun i (name, _, trace, obs) ->
+              let provs = Resa_obs.Trace.start_provenances (Resa_obs.Trace.contents obs) in
+              let provenance id =
+                match List.assoc_opt id provs with
+                | Some p -> Resa_obs.Trace.provenance_to_string p
+                | None -> ""
+              in
+              let csv =
+                Resa_sim.Metrics.per_job_csv ~run:name
+                  (Resa_sim.Metrics.per_job ~provenance trace)
+              in
+              (* One header for the whole file. *)
+              let csv =
+                if i = 0 then csv
+                else
+                  match String.index_opt csv '\n' with
+                  | Some k -> String.sub csv (k + 1) (String.length csv - k - 1)
+                  | None -> csv
+              in
+              Out_channel.output_string oc csv)
+            results))
+    csv_out
 
 let simulate_cmd =
   let swf =
@@ -238,11 +307,79 @@ let simulate_cmd =
       & info [ "overestimate" ]
           ~doc:"Mean walltime overestimation factor for synthetic traces (>= 1).")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the structured event stream (JSONL, one event per line, tagged with the \
+             policy name) to $(docv). Defaults to $(b,RESA_TRACE) when set.")
+  in
+  let chrome_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON Gantt view (one process per policy, one track per \
+             processor; open in Perfetto or chrome://tracing) to $(docv).")
+  in
+  let csv_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:
+            "Write per-job metrics (submit, start, wait, slowdown, provenance) as CSV to \
+             $(docv).")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Online simulation of a (synthetic or SWF) trace")
     Term.(
       const simulate $ swf $ m $ n $ max_runtime $ mean_gap $ seed_arg $ policy $ overestimate
-      $ jobs_arg)
+      $ jobs_arg $ trace_out $ chrome_out $ csv_out)
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explain path =
+  let lines =
+    if path = "-" then In_channel.input_lines stdin
+    else
+      match In_channel.with_open_text path In_channel.input_lines with
+      | lines -> lines
+      | exception Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+  in
+  let events =
+    List.concat
+      (List.mapi
+         (fun lineno line ->
+           if String.trim line = "" then []
+           else
+             match Resa_obs.Trace.parse_line line with
+             | Ok ev -> [ ev ]
+             | Error msg ->
+               Printf.eprintf "error: %s:%d: %s\n" path (lineno + 1) msg;
+               exit 2)
+         lines)
+  in
+  print_string (Resa_obs.Explain.render events)
+
+let explain_cmd =
+  let path =
+    Arg.(
+      value
+      & pos 0 string "-"
+      & info [] ~docv:"FILE" ~doc:"JSONL event trace from simulate --trace ('-' for stdin).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Replay a JSONL event trace and print, per job, why it started when it did")
+    Term.(const explain $ path)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -326,4 +463,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "resa" ~version:"1.0.0" ~doc)
-          [ generate_cmd; solve_cmd; simulate_cmd; trace_cmd; bounds_cmd; info_cmd ]))
+          [ generate_cmd; solve_cmd; simulate_cmd; explain_cmd; trace_cmd; bounds_cmd; info_cmd ]))

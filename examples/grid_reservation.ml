@@ -17,7 +17,7 @@ let () =
     m ((1.0 -. alpha) *. 100.0) alpha;
 
   (* --- 1. Users request advance reservations through the book. --- *)
-  let book = Resa_sim.Reservation_book.create ~m ~alpha in
+  let book = Resa_sim.Reservation_book.create ~m ~alpha () in
   let requests =
     [
       ("demo at the 10:00 meeting", 100, 20, 16);

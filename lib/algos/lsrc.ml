@@ -32,6 +32,11 @@ let run_order_reference inst order =
   loop 0 (Array.to_list order);
   Schedule.make starts
 
+(* Observability counters (RESA_PROF): decision instants visited and jobs
+   placed by the production list scheduler. *)
+let c_instants = Resa_obs.Prof.counter "lsrc.decision_instants"
+let c_placed = Resa_obs.Prof.counter "lsrc.jobs_placed"
+
 let run_order inst order =
   let n = Instance.n_jobs inst in
   if Array.length order <> n then invalid_arg "Lsrc.run_order: order length mismatch";
@@ -53,6 +58,7 @@ let run_order inst order =
       if q <= !cap_now && Timeline.min_on free ~lo:t ~hi:(t + Job.p j) >= q then begin
         starts.(i) <- t;
         Timeline.reserve free ~start:t ~dur:(Job.p j) ~need:q;
+        Resa_obs.Prof.incr c_placed;
         cap_now := !cap_now - q
       end
       else begin
@@ -63,6 +69,7 @@ let run_order inst order =
     n_pend := !w
   in
   let rec loop t =
+    Resa_obs.Prof.incr c_instants;
     place_fitting t;
     if !n_pend > 0 then
       match Timeline.next_breakpoint_after free t with
@@ -72,7 +79,7 @@ let run_order inst order =
            machine, so every pending job fits (DESIGN.md §1). *)
         assert false
   in
-  loop 0;
+  Resa_obs.Prof.with_span ~cat:"algo" "lsrc.run_order" (fun () -> loop 0);
   Schedule.make starts
 
 let run ?(priority = Priority.Fifo) inst = run_order inst (Priority.order priority inst)

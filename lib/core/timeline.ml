@@ -152,6 +152,13 @@ let rec last t v lo hi qlo qhi ~keep =
     if p >= 0 then p else last t t.lc.(v) lo mid qlo qhi ~keep
   end
 
+(* Operation counters for the observability layer (RESA_PROF): a disabled
+   counter costs one flag load per call, cheap enough for these hot ops. *)
+let c_min_on = Resa_obs.Prof.counter "timeline.min_on"
+let c_change = Resa_obs.Prof.counter "timeline.change"
+let c_reserve = Resa_obs.Prof.counter "timeline.reserve"
+let c_earliest_fit = Resa_obs.Prof.counter "timeline.earliest_fit"
+
 let value_at t x =
   if x < 0 then invalid_arg "Timeline: negative time";
   if x >= t.size then t.tail
@@ -168,6 +175,7 @@ let value_at t x =
   end
 
 let min_on t ~lo ~hi =
+  Resa_obs.Prof.incr c_min_on;
   if lo < 0 || lo > hi then invalid_arg "Timeline: bad window";
   if lo = hi then max_int
   else begin
@@ -184,6 +192,7 @@ let max_on t ~lo ~hi =
   end
 
 let change t ~lo ~hi ~delta =
+  Resa_obs.Prof.incr c_change;
   if lo < hi && delta <> 0 then begin
     if lo < 0 then invalid_arg "Timeline.change: negative lo";
     (* Strictly past [hi] so at least one tail-valued position stays in
@@ -194,6 +203,7 @@ let change t ~lo ~hi ~delta =
   end
 
 let reserve t ~start ~dur ~need =
+  Resa_obs.Prof.incr c_reserve;
   if dur < 1 then invalid_arg "Timeline.reserve: dur must be >= 1";
   if need < 0 then invalid_arg "Timeline.reserve: negative need";
   if min_on t ~lo:start ~hi:(start + dur) < need then
@@ -201,6 +211,7 @@ let reserve t ~start ~dur ~need =
   change t ~lo:start ~hi:(start + dur) ~delta:(-need)
 
 let earliest_fit t ~from ~dur ~need =
+  Resa_obs.Prof.incr c_earliest_fit;
   if dur < 1 then invalid_arg "Timeline.earliest_fit: dur must be >= 1";
   if from < 0 then invalid_arg "Timeline.earliest_fit: negative from";
   let rec attempt s =

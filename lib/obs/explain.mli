@@ -1,0 +1,10 @@
+(** Decision-provenance replay behind [resa explain].
+
+    Consumes a parsed JSONL trace (see {!Trace.parse_line}) and renders,
+    per run and per job, the reconstructed story: submission, blocked
+    episodes aggregated by binding constraint, policy plans, the start
+    with its provenance, and the completion. *)
+
+val render : (string option * Trace.event) list -> string
+(** Runs appear in first-appearance order; jobs within a run in id order.
+    Events with no run tag group under the name ["run"]. *)

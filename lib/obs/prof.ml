@@ -1,0 +1,131 @@
+(* Wall-clock spans and operation counters — the nondeterministic half of
+   the observability layer. Everything here is timing data: it is never
+   written into deterministic outputs (tables, schedules, JSONL event
+   traces), only into Chrome exports and bench trajectory JSON.
+
+   Profiling is off by default (enable with RESA_PROF=1 or [enable]); the
+   disabled path of every operation is one flag load and a branch, so hot
+   loops (Timeline ops, heap pushes) can call [incr] unconditionally.
+   Counters are atomics — worker domains of the executor pool bump them
+   concurrently — and spans record which domain produced them. *)
+
+let flag =
+  ref
+    (match Sys.getenv_opt "RESA_PROF" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true)
+
+let enabled () = !flag [@@inline]
+let enable () = flag := true
+let disable () = flag := false
+
+(* Wall-clock nanoseconds. [Unix.gettimeofday] is the only sub-second clock
+   the stdlib distribution offers without C stubs; spans are comparative
+   profiling data, so occasional NTP slew is acceptable. *)
+let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+(* --- counters ----------------------------------------------------------- *)
+
+type counter = { cname : string; cell : int Atomic.t }
+
+let registry : (string, counter) Hashtbl.t = Hashtbl.create 32
+let registry_mutex = Mutex.create ()
+
+let counter cname =
+  Mutex.lock registry_mutex;
+  let c =
+    match Hashtbl.find_opt registry cname with
+    | Some c -> c
+    | None ->
+      let c = { cname; cell = Atomic.make 0 } in
+      Hashtbl.add registry cname c;
+      c
+  in
+  Mutex.unlock registry_mutex;
+  c
+
+let incr c = if !flag then Atomic.incr c.cell [@@inline]
+let add c n = if !flag then ignore (Atomic.fetch_and_add c.cell n) [@@inline]
+let value c = Atomic.get c.cell
+
+let counters () =
+  Mutex.lock registry_mutex;
+  let all = Hashtbl.fold (fun _ c acc -> (c.cname, Atomic.get c.cell) :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  List.sort compare all
+
+(* --- spans -------------------------------------------------------------- *)
+
+type span = { name : string; cat : string; domain : int; start_ns : int; dur_ns : int }
+
+let spans_store : span list ref = ref []
+let spans_mutex = Mutex.create ()
+
+let record_span s =
+  Mutex.lock spans_mutex;
+  spans_store := s :: !spans_store;
+  Mutex.unlock spans_mutex
+
+let with_span ?(cat = "span") name f =
+  if not !flag then f ()
+  else begin
+    let start_ns = now_ns () in
+    let finish () =
+      record_span
+        {
+          name;
+          cat;
+          domain = (Domain.self () :> int);
+          start_ns;
+          dur_ns = now_ns () - start_ns;
+        }
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let spans () =
+  Mutex.lock spans_mutex;
+  let l = !spans_store in
+  Mutex.unlock spans_mutex;
+  (* Start-time order: stable enough for reports, and independent of the
+     completion interleaving across domains. *)
+  List.stable_sort (fun a b -> compare (a.start_ns, a.name) (b.start_ns, b.name)) l
+
+(* --- executor busy time ------------------------------------------------- *)
+
+(* Busy nanoseconds per domain, indexed by [id land mask]. Domain ids grow
+   monotonically over the process lifetime (pools respawn), so slots can
+   alias after many respawns; this is profiling data, not accounting. *)
+let busy_slots = 256
+let busy = Array.init busy_slots (fun _ -> Atomic.make 0)
+
+let add_busy ns =
+  if !flag then begin
+    let slot = (Domain.self () :> int) land (busy_slots - 1) in
+    ignore (Atomic.fetch_and_add busy.(slot) ns)
+  end
+
+let busy_ns () =
+  let acc = ref [] in
+  for slot = busy_slots - 1 downto 0 do
+    let v = Atomic.get busy.(slot) in
+    if v > 0 then acc := (slot, v) :: !acc
+  done;
+  !acc
+
+(* --- reset -------------------------------------------------------------- *)
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) registry;
+  Mutex.unlock registry_mutex;
+  Mutex.lock spans_mutex;
+  spans_store := [];
+  Mutex.unlock spans_mutex;
+  Array.iter (fun a -> Atomic.set a 0) busy

@@ -43,6 +43,17 @@ type pool = {
   size : int;  (* total domains, including the submitting one *)
 }
 
+(* Busy/idle accounting (RESA_PROF): time spent inside tasks, credited to
+   the executing domain. The clock reads sit outside the mutex, so they
+   cost nothing to the other workers even when profiling is on. *)
+let run_task run i =
+  if Resa_obs.Prof.enabled () then begin
+    let t0 = Resa_obs.Prof.now_ns () in
+    Fun.protect ~finally:(fun () -> Resa_obs.Prof.add_busy (Resa_obs.Prof.now_ns () - t0))
+      (fun () -> run i)
+  end
+  else run i
+
 (* Claim and execute tasks until the block is exhausted. The mutex is
    held on entry and on exit. *)
 let drain p b =
@@ -50,7 +61,7 @@ let drain p b =
     let i = p.next in
     p.next <- i + 1;
     Mutex.unlock p.mutex;
-    b.run i;
+    run_task b.run i;
     Mutex.lock p.mutex;
     p.unfinished <- p.unfinished - 1;
     if p.unfinished = 0 then Condition.broadcast p.all_done
@@ -157,7 +168,7 @@ let run_block p ~n run =
 let run_tasks ?domains n f results =
   let seq lo =
     for i = lo to n - 1 do
-      results.(i) <- Some (f i)
+      run_task (fun i -> results.(i) <- Some (f i)) i
     done
   in
   let d = match domains with Some d -> max 1 d | None -> domain_count () in
@@ -183,7 +194,8 @@ let run_tasks ?domains n f results =
             in
             record ()
         in
-        run_block (get_pool d) ~n run;
+        Resa_obs.Prof.with_span ~cat:"par" "par.run_block" (fun () ->
+            run_block (get_pool d) ~n run);
         match Atomic.get failure with
         | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
         | None -> ())

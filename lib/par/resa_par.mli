@@ -21,7 +21,12 @@
     tasks inline, sequentially — same results, no deadlock. Worker
     exceptions are captured and the one raised by the {e lowest} task
     index is re-raised at the join point with its backtrace, again
-    matching what the sequential loop would have raised first. *)
+    matching what the sequential loop would have raised first.
+
+    With profiling on ([RESA_PROF=1] or {!Resa_obs.Prof.enable}), every
+    task's wall time is credited to the executing domain
+    ({!Resa_obs.Prof.busy_ns}) and each pooled parallel section records a
+    [par.run_block] span — wall-clock data only, never part of results. *)
 
 open Resa_core
 

@@ -12,6 +12,10 @@ type 'a t = {
 
 let create () = { data = [||]; len = 0; next_seq = 0 }
 
+(* Observability counters (RESA_PROF); one flag load per op when disabled. *)
+let c_push = Resa_obs.Prof.counter "event_heap.push"
+let c_pop = Resa_obs.Prof.counter "event_heap.pop"
+
 let is_empty h = h.len = 0
 let size h = h.len
 
@@ -26,6 +30,7 @@ let grow h =
   h.data <- data
 
 let push h ~time payload =
+  Resa_obs.Prof.incr c_push;
   if time < 0 then invalid_arg "Event_heap.push: negative time";
   let entry = { time; seq = h.next_seq; payload } in
   h.next_seq <- h.next_seq + 1;
@@ -50,6 +55,7 @@ let push h ~time payload =
 let peek_time h = if h.len = 0 then None else Some (get h 0).time
 
 let pop h =
+  Resa_obs.Prof.incr c_pop;
   if h.len = 0 then None
   else begin
     let top = get h 0 in

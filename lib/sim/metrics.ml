@@ -10,12 +10,61 @@ type summary = {
   utilization : float;
 }
 
+type job_row = {
+  id : int;
+  submit : int;
+  start : int;
+  wait : int;
+  finish : int;
+  p : int;
+  q : int;
+  slowdown : float;
+  bounded_slowdown : float;
+  provenance : string;
+}
+
 let wait_times (trace : Simulator.trace) =
   List.map (fun (r : Simulator.record) -> r.start - r.submit) trace.records
+
+let per_job ?(bound = 10) ?provenance (trace : Simulator.trace) =
+  let provenance = match provenance with Some f -> f | None -> fun _ -> "" in
+  List.map
+    (fun (r : Simulator.record) ->
+      let p = Job.p r.job and q = Job.q r.job in
+      let wait = r.start - r.submit in
+      {
+        id = Job.id r.job;
+        submit = r.submit;
+        start = r.start;
+        wait;
+        finish = r.start + p;
+        p;
+        q;
+        slowdown = float_of_int (wait + p) /. float_of_int p;
+        bounded_slowdown = Float.max 1.0 (float_of_int (wait + p) /. float_of_int (max p bound));
+        provenance = provenance (Job.id r.job);
+      })
+    trace.records
+
+let per_job_csv ?run rows =
+  let b = Buffer.create (64 * (List.length rows + 1)) in
+  let run_col = match run with Some _ -> "run," | None -> "" in
+  Buffer.add_string b
+    (run_col ^ "job,submit,start,wait,finish,p,q,slowdown,bounded_slowdown,provenance\n");
+  List.iter
+    (fun r ->
+      (match run with Some name -> Buffer.add_string b (name ^ ",") | None -> ());
+      Buffer.add_string b
+        (Printf.sprintf "%d,%d,%d,%d,%d,%d,%d,%.6g,%.6g,%s\n" r.id r.submit r.start r.wait
+           r.finish r.p r.q r.slowdown r.bounded_slowdown r.provenance))
+    rows;
+  Buffer.contents b
 
 let summarize ?(bound = 10) (trace : Simulator.trace) =
   let n = List.length trace.records in
   if n = 0 then
+    (* Degenerate on purpose: means over zero jobs are set to their neutral
+       values and utilization — work over zero elapsed time — to [nan]. *)
     {
       n = 0;
       makespan = 0;
@@ -23,34 +72,21 @@ let summarize ?(bound = 10) (trace : Simulator.trace) =
       max_wait = 0;
       mean_slowdown = 1.;
       mean_bounded_slowdown = 1.;
-      utilization = 1.;
+      utilization = Float.nan;
     }
   else begin
-    let waits = wait_times trace in
+    let rows = per_job ~bound trace in
     let fsum = List.fold_left ( +. ) 0.0 in
-    let mean_wait = fsum (List.map float_of_int waits) /. float_of_int n in
-    let max_wait = List.fold_left max 0 waits in
-    let slowdowns =
-      List.map
-        (fun (r : Simulator.record) ->
-          float_of_int (r.start - r.submit + Job.p r.job) /. float_of_int (Job.p r.job))
-        trace.records
-    in
-    let bounded =
-      List.map
-        (fun (r : Simulator.record) ->
-          let denom = max (Job.p r.job) bound in
-          Float.max 1.0 (float_of_int (r.start - r.submit + Job.p r.job) /. float_of_int denom))
-        trace.records
-    in
+    let mean_wait = fsum (List.map (fun r -> float_of_int r.wait) rows) /. float_of_int n in
+    let max_wait = List.fold_left (fun acc r -> max acc r.wait) 0 rows in
     let inst, sched = Simulator.to_offline trace in
     {
       n;
       makespan = trace.makespan;
       mean_wait;
       max_wait;
-      mean_slowdown = fsum slowdowns /. float_of_int n;
-      mean_bounded_slowdown = fsum bounded /. float_of_int n;
+      mean_slowdown = fsum (List.map (fun r -> r.slowdown) rows) /. float_of_int n;
+      mean_bounded_slowdown = fsum (List.map (fun r -> r.bounded_slowdown) rows) /. float_of_int n;
       utilization = Schedule.utilization inst sched;
     }
   end

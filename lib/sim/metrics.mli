@@ -1,6 +1,5 @@
 (** Standard batch-scheduling metrics over simulation traces. *)
 
-
 type summary = {
   n : int;
   makespan : int;
@@ -14,8 +13,40 @@ type summary = {
       (** Job work over available processor·time in [\[0, makespan)]. *)
 }
 
+type job_row = {
+  id : int;
+  submit : int;
+  start : int;
+  wait : int;  (** [start − submit]. *)
+  finish : int;  (** [start + p] (actual runtime). *)
+  p : int;
+  q : int;
+  slowdown : float;
+  bounded_slowdown : float;
+  provenance : string;
+      (** How the job came to start — e.g. ["started-now"] or
+          ["backfilled-ahead-of-head"] from a {!Resa_obs.Trace} event
+          stream; [""] when no provenance source was supplied. *)
+}
+
 val summarize : ?bound:int -> Simulator.trace -> summary
-(** [bound] (default 10) is the bounded-slowdown runtime threshold. *)
+(** [bound] is the bounded-slowdown runtime threshold; it defaults to [10]
+    (in the simulator's abstract time unit), the customary cutoff below
+    which a job's slowdown is clamped so that very short jobs do not
+    dominate the mean. On an {e empty} trace the result is explicit about
+    being degenerate: [n = 0], [makespan = 0], means at their neutral
+    values ([mean_wait = 0.], slowdowns [1.]) and [utilization = Float.nan]
+    — there is no elapsed time to utilise, and [nan] cannot be mistaken for
+    a measured ratio. *)
+
+val per_job : ?bound:int -> ?provenance:(int -> string) -> Simulator.trace -> job_row list
+(** Per-job metric rows, in submission order. [bound] as in {!summarize}.
+    [provenance] maps a job id to its provenance label (see
+    {!Resa_obs.Trace.start_provenances}); defaults to [fun _ -> ""]. *)
+
+val per_job_csv : ?run:string -> job_row list -> string
+(** Render rows as CSV with a header line. With [?run], a leading [run]
+    column carrying that name is prepended to every row. *)
 
 val wait_times : Simulator.trace -> int list
 (** Per-job waits, in submission order. *)

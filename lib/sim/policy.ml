@@ -1,4 +1,6 @@
 open Resa_core
+module Trace = Resa_obs.Trace
+module Prof = Resa_obs.Prof
 
 type action = {
   start_now : Job.t list;
@@ -15,8 +17,15 @@ let fits free ~time job = Profile.min_on free ~lo:time ~hi:(time + Job.p job) >=
 let earliest free ~from job =
   Option.get (Profile.earliest_fit free ~from ~dur:(Job.p job) ~need:(Job.q job))
 
-let fcfs () =
+(* Per-policy decision counters (RESA_PROF). *)
+let c_fcfs = Prof.counter "policy.decide.FCFS"
+let c_lsrc = Prof.counter "policy.decide.LSRC"
+let c_easy = Prof.counter "policy.decide.EASY"
+let c_cons = Prof.counter "policy.decide.CONS"
+
+let fcfs ?(obs = Trace.null) () =
   let decide ~time ~queue ~free =
+    Prof.incr c_fcfs;
     (* Start the longest startable prefix; the blocked head, if any, yields
        the next wake-up. *)
     let rec go free = function
@@ -25,15 +34,21 @@ let fcfs () =
         let free = Profile.reserve free ~start:time ~dur:(Job.p head) ~need:(Job.q head) in
         let started, wake = go free rest in
         (head :: started, wake)
-      | head :: _ -> ([], Some (earliest free ~from:(time + 1) head))
+      | head :: _ ->
+        let at = earliest free ~from:(time + 1) head in
+        if Trace.enabled obs then
+          Trace.emit obs (Trace.Planned { time; policy = "FCFS"; job = Job.id head; at });
+        ([], Some at)
     in
     let start_now, wake = go free queue in
     { start_now; wake }
   in
   { name = "FCFS"; decide }
 
-let aggressive () =
+let aggressive ?(obs = Trace.null) () =
+  ignore obs;
   let decide ~time ~queue ~free =
+    Prof.incr c_lsrc;
     let rec go free = function
       | [] -> []
       | j :: rest when fits free ~time j ->
@@ -45,8 +60,9 @@ let aggressive () =
   in
   { name = "LSRC"; decide }
 
-let easy () =
+let easy ?(obs = Trace.null) () =
   let decide ~time ~queue ~free =
+    Prof.incr c_easy;
     let rec pop_prefix free = function
       | head :: rest when fits free ~time head ->
         let free = Profile.reserve free ~start:time ~dur:(Job.p head) ~need:(Job.q head) in
@@ -56,6 +72,9 @@ let easy () =
       | head :: rest ->
         (* Head blocked: protect its guaranteed start while backfilling. *)
         let guaranteed = earliest free ~from:time head in
+        if Trace.enabled obs then
+          Trace.emit obs
+            (Trace.Planned { time; policy = "EASY"; job = Job.id head; at = guaranteed });
         let rec backfill free = function
           | [] -> []
           | j :: tl ->
@@ -73,10 +92,11 @@ let easy () =
   in
   { name = "EASY"; decide }
 
-let conservative () =
+let conservative ?(obs = Trace.null) () =
   let planned : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let plan = ref None (* plan profile, lazily initialised from [free] *) in
   let decide ~time ~queue ~free =
+    Prof.incr c_cons;
     let p = match !plan with None -> free | Some p -> p in
     (* Plan newly arrived jobs at their earliest non-delaying start. *)
     let p =
@@ -86,6 +106,8 @@ let conservative () =
           else begin
             let s = earliest p ~from:time j in
             Hashtbl.replace planned (Job.id j) s;
+            if Trace.enabled obs then
+              Trace.emit obs (Trace.Planned { time; policy = "CONS"; job = Job.id j; at = s });
             Profile.reserve p ~start:s ~dur:(Job.p j) ~need:(Job.q j)
           end)
         p queue
@@ -103,6 +125,8 @@ let conservative () =
             p := Profile.change !p ~lo:s ~hi:(s + Job.p j) ~delta:(Job.q j);
             let s' = earliest !p ~from:time j in
             Hashtbl.replace planned (Job.id j) s';
+            if Trace.enabled obs then
+              Trace.emit obs (Trace.Planned { time; policy = "CONS"; job = Job.id j; at = s' });
             p := Profile.reserve !p ~start:s' ~dur:(Job.p j) ~need:(Job.q j);
             s' = time
           end
@@ -122,4 +146,4 @@ let conservative () =
   in
   { name = "CONS"; decide }
 
-let all () = [ fcfs (); conservative (); easy (); aggressive () ]
+let all ?obs () = [ fcfs ?obs (); conservative ?obs (); easy ?obs (); aggressive ?obs () ]

@@ -12,7 +12,16 @@
     action time is not a simulator event).
 
     Policies are stateful (planning tables); build a fresh value per
-    simulation run. *)
+    simulation run.
+
+    Every constructor takes an optional tracer [?obs] (default
+    {!Resa_obs.Trace.null}): with a live sink, planning policies emit
+    {!Resa_obs.Trace.Planned} events recording the start instant they
+    currently promise a blocked or planned job — the policy-side half of
+    decision provenance (the simulator emits the start/blocked half). With
+    the default sink the decision logic is byte-identical to the untraced
+    build. Each [decide] call also bumps a per-policy [Prof] counter when
+    profiling is enabled. *)
 
 open Resa_core
 
@@ -26,23 +35,27 @@ type t = {
   decide : time:int -> queue:Job.t list -> free:Profile.t -> action;
 }
 
-val fcfs : unit -> t
+val fcfs : ?obs:Resa_obs.Trace.t -> unit -> t
 (** Strict FCFS: only the queue head may start; it starts at the first
-    instant its whole window fits. *)
+    instant its whole window fits. Emits the blocked head's next feasible
+    start as a [Planned] event. *)
 
-val conservative : unit -> t
+val conservative : ?obs:Resa_obs.Trace.t -> unit -> t
 (** Conservative backfilling: each job is planned at submission at the
     earliest start that delays no previously planned job, and starts exactly
-    at its planned time. *)
+    at its planned time. Emits a [Planned] event per (re)planning. *)
 
-val easy : unit -> t
+val easy : ?obs:Resa_obs.Trace.t -> unit -> t
 (** EASY backfilling: the head holds a guaranteed earliest start; any other
-    job may start now if that guarantee is not pushed back. *)
+    job may start now if that guarantee is not pushed back. Emits the head's
+    guarantee as a [Planned] event. *)
 
-val aggressive : unit -> t
+val aggressive : ?obs:Resa_obs.Trace.t -> unit -> t
 (** List scheduling (LSRC): start every queued job that fits, in queue
     order. With all jobs submitted at time 0 this reproduces [Lsrc.run]
-    exactly (tested). *)
+    exactly (tested). Emits no policy events (the simulator's provenance
+    classification covers it). *)
 
-val all : unit -> t list
-(** Fresh instances of the four policies, in the order above. *)
+val all : ?obs:Resa_obs.Trace.t -> unit -> t list
+(** Fresh instances of the four policies, in the order above, sharing one
+    tracer. *)

@@ -16,8 +16,11 @@ type rejection =
   | Saturated of { time : int; blocked : int; cap : int }
       (** Granting it would block more than the cap at [time]. *)
 
-val create : m:int -> alpha:float -> t
-(** Requires [m >= 1] and [alpha ∈ (0, 1]]. *)
+val create : ?obs:Resa_obs.Trace.t -> m:int -> alpha:float -> unit -> t
+(** Requires [m >= 1] and [alpha ∈ (0, 1]]. With a live tracer [?obs]
+    (default {!Resa_obs.Trace.null}), every admission decision is emitted as
+    a {!Resa_obs.Trace.Resv_accept} (with the granted id) or
+    {!Resa_obs.Trace.Resv_reject} (with the rendered rejection reason). *)
 
 val cap : t -> int
 (** The per-instant blocked-capacity budget [⌊(1−α)·m⌋]. *)

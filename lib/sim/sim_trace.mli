@@ -1,0 +1,14 @@
+(** Bridge from finished simulation traces to the Chrome trace-event
+    exporter: a Gantt-style view loadable in Perfetto / chrome://tracing.
+
+    One track per processor (the deterministic packing from
+    {!Resa_core.Gantt.assign_processors}), a slice per (job, processor)
+    pair, plus a separate ["reservations"] track — processor identity for a
+    reservation is a rendering choice, not a scheduling fact. Simulation
+    time maps to trace microseconds, 1 unit = 1 µs. *)
+
+val chrome_slices : ?process:string -> Simulator.trace -> Resa_obs.Chrome.slice list
+(** [process] names the Chrome process grouping all tracks (default
+    ["simulation"]); pass the policy name when exporting several runs into
+    one file. Wide jobs appear once per assigned processor, so a [q]-wide
+    job yields [q] identical-looking slices at the same instant. *)

@@ -1,4 +1,6 @@
 open Resa_core
+module Trace = Resa_obs.Trace
+module Prof = Resa_obs.Prof
 
 type submitted = { job : Job.t; submit : int }
 
@@ -18,7 +20,8 @@ type event =
   | Completion of int (* job id *)
   | Wake
 
-let run_estimated ~policy ~m ?(reservations = []) ~estimates (submissions : submitted list) =
+let run_estimated ?(obs = Trace.null) ~policy ~m ?(reservations = []) ~estimates
+    (submissions : submitted list) =
   let subs = Array.of_list submissions in
   let n = Array.length subs in
   if Array.length estimates <> n then
@@ -47,6 +50,16 @@ let run_estimated ~policy ~m ?(reservations = []) ~estimates (submissions : subm
       Hashtbl.replace actual_p (Job.id s.job) (Job.p s.job);
       Hashtbl.replace est_p (Job.id s.job) estimates.(i))
     subs;
+  let tracing = Trace.enabled obs in
+  let submit_of : (int, int) Hashtbl.t = Hashtbl.create (if tracing then n else 1) in
+  if tracing then
+    Array.iter (fun (s : submitted) -> Hashtbl.replace submit_of (Job.id s.job) s.submit) subs;
+  (* Capacity blocked by reservations alone, for classifying why a job does
+     not fit: if it would fit with the blocked windows given back, the
+     reservation is the binding constraint. Only built when tracing. *)
+  let resv_blocked =
+    lazy (Profile.sub (Profile.constant m) (Instance.availability base))
+  in
   let events : event Event_heap.t = Event_heap.create () in
   Array.iteri (fun i (s : submitted) -> Event_heap.push events ~time:s.submit (Arrival i)) subs;
   (* Reservation edges are decision opportunities for every policy. *)
@@ -74,18 +87,29 @@ let run_estimated ~policy ~m ?(reservations = []) ~estimates (submissions : subm
     match Event_heap.peek_time events with
     | Some t' when t' = t ->
       (match Event_heap.pop events with
-      | Some (_, Arrival i) -> queue := estimated.(i) :: !queue
-      | Some (_, Completion id) -> release_tail id t
+      | Some (_, Arrival i) ->
+        queue := estimated.(i) :: !queue;
+        if tracing then begin
+          let j = subs.(i).job in
+          Trace.emit obs
+            (Trace.Job_submit { time = t; job = Job.id j; p = Job.p j; q = Job.q j })
+        end
+      | Some (_, Completion id) ->
+        release_tail id t;
+        if tracing then Trace.emit obs (Trace.Job_finish { time = t; job = id })
       | Some (_, Wake) | None -> ());
       drain t
     | _ -> ()
   in
   let start_job t j =
     let est = Hashtbl.find est_p (Job.id j) in
-    if Timeline.min_on free ~lo:t ~hi:(t + est) < Job.q j then
+    let have = Timeline.min_on free ~lo:t ~hi:(t + est) in
+    if have < Job.q j then
       raise
         (Policy_error
-           (Format.asprintf "%s started %a at t=%d without capacity" policy.Policy.name Job.pp j t));
+           (Format.asprintf
+              "%s started %a at t=%d without capacity: window [%d,%d) needs %d but offers %d"
+              policy.Policy.name Job.pp j t t (t + est) (Job.q j) have));
     Timeline.reserve free ~start:t ~dur:est ~need:(Job.q j);
     Hashtbl.replace starts (Job.id j) t;
     forced := false;
@@ -96,15 +120,20 @@ let run_estimated ~policy ~m ?(reservations = []) ~estimates (submissions : subm
     match Event_heap.peek_time events with
     | None ->
       if !queue <> [] then
-        if !forced then raise (Policy_error (policy.Policy.name ^ " deadlocked"))
+        if !forced then
+          raise
+            (Policy_error
+               (Format.asprintf "%s deadlocked at t=%d with %d queued jobs (head %a)"
+                  policy.Policy.name !last_t (List.length !queue) Job.pp
+                  (List.hd (List.rev !queue))))
         else begin
           (* No event left but jobs wait: past the last breakpoint the whole
              machine is free, so a correct policy must start them; wake it
              once. *)
           forced := true;
-          Event_heap.push events
-            ~time:(max (!last_t + 1) (Timeline.last_breakpoint free))
-            Wake;
+          let wake_at = max (!last_t + 1) (Timeline.last_breakpoint free) in
+          if tracing then Trace.emit obs (Trace.Sim_wake { time = wake_at; forced = true });
+          Event_heap.push events ~time:wake_at Wake;
           loop ()
         end
     | Some t ->
@@ -120,9 +149,85 @@ let run_estimated ~policy ~m ?(reservations = []) ~estimates (submissions : subm
           if not (List.exists (fun qj -> Job.id qj = Job.id j) q_now) then
             raise
               (Policy_error
-                 (Format.asprintf "%s started %a which is not queued" policy.Policy.name Job.pp j)))
+                 (Format.asprintf "%s started %a at t=%d which is not in the queue"
+                    policy.Policy.name Job.pp j t)))
         start_now;
+      (* Start provenance: a job that overtakes an earlier-queued job that
+         stays waiting was backfilled; classification happens against the
+         pre-start queue order, before the timeline mutates. *)
+      if tracing then begin
+        Trace.emit obs
+          (Trace.Decision
+             {
+               time = t;
+               policy = policy.Policy.name;
+               queued = List.length q_now;
+               started = List.length start_now;
+               wake;
+             });
+        let started_id id = List.exists (fun s -> Job.id s = id) start_now in
+        let first_wait =
+          let rec go pos = function
+            | [] -> None
+            | j :: _ when not (started_id (Job.id j)) -> Some (pos, j)
+            | _ :: rest -> go (pos + 1) rest
+          in
+          go 0 q_now
+        in
+        List.iter
+          (fun j ->
+            let pos = ref 0 in
+            List.iteri (fun i qj -> if Job.id qj = Job.id j then pos := i) q_now;
+            let provenance =
+              match first_wait with
+              | Some (wpos, _) when !pos > wpos -> Trace.Backfilled_ahead_of_head
+              | _ -> Trace.Started_now
+            in
+            Trace.emit obs
+              (Trace.Job_start
+                 {
+                   time = t;
+                   job = Job.id j;
+                   wait = t - Hashtbl.find submit_of (Job.id j);
+                   provenance;
+                 }))
+          start_now
+      end;
       List.iter (fun j -> start_job t j) start_now;
+      (* Why is the head (the first job left waiting) not running? Checked
+         after the starts, against the capacity it actually faces. *)
+      if tracing then begin
+        let started_id id = List.exists (fun s -> Job.id s = id) start_now in
+        match List.find_opt (fun j -> not (started_id (Job.id j))) q_now with
+        | None -> ()
+        | Some jh ->
+          let est = Hashtbl.find est_p (Job.id jh) in
+          let need = Job.q jh in
+          let have = Timeline.min_on free ~lo:t ~hi:(t + est) in
+          let reason =
+            if have >= need then Trace.Held_by_policy
+            else begin
+              let without_resv =
+                Profile.add (Timeline.to_profile ~from:t free) (Lazy.force resv_blocked)
+              in
+              if Profile.min_on without_resv ~lo:t ~hi:(t + est) >= need then
+                Trace.Blocked_by_reservation
+              else Trace.Blocked_by_capacity
+            end
+          in
+          Trace.emit obs
+            (Trace.Head_blocked
+               {
+                 time = t;
+                 policy = policy.Policy.name;
+                 job = Job.id jh;
+                 reason;
+                 lo = t;
+                 hi = t + est;
+                 need;
+                 have;
+               })
+      end;
       queue :=
         List.filter (fun j -> not (List.exists (fun s -> Job.id s = Job.id j) start_now)) !queue;
       (match wake with
@@ -130,7 +235,7 @@ let run_estimated ~policy ~m ?(reservations = []) ~estimates (submissions : subm
       | Some _ | None -> ());
       loop ()
   in
-  loop ();
+  Prof.with_span ~cat:"sim" ("simulate/" ^ policy.Policy.name) loop;
   let records =
     Array.to_list subs
     |> List.map (fun (s : submitted) ->
@@ -139,11 +244,11 @@ let run_estimated ~policy ~m ?(reservations = []) ~estimates (submissions : subm
   let makespan = List.fold_left (fun acc r -> max acc (r.start + Job.p r.job)) 0 records in
   { m; reservations; records; makespan }
 
-let run ~policy ~m ?(reservations = []) (submissions : submitted list) =
+let run ?obs ~policy ~m ?(reservations = []) (submissions : submitted list) =
   let estimates =
     Array.of_list (List.map (fun (s : submitted) -> Job.p s.job) submissions)
   in
-  run_estimated ~policy ~m ~reservations ~estimates submissions
+  run_estimated ?obs ~policy ~m ~reservations ~estimates submissions
 
 let to_offline trace =
   let jobs =

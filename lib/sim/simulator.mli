@@ -9,7 +9,23 @@
     Soundness is enforced, not assumed: every start requested by a policy is
     checked against the capacity profile, and the finished trace converts to
     an [Instance.t]/[Schedule.t] pair that [Schedule.validate] accepts
-    (tested). *)
+    (tested).
+
+    {2 Observability}
+
+    Both entry points take an optional tracer [?obs] (default
+    {!Resa_obs.Trace.null}). With a live sink the simulator emits, in
+    deterministic order: [Job_submit] / [Job_finish] while draining events,
+    one [Decision] per decision instant, one [Job_start] per started job
+    carrying its wait time and provenance ([Started_now] when it started in
+    queue-prefix order, [Backfilled_ahead_of_head] when it overtook an
+    earlier-queued job left waiting), one [Head_blocked] for the first job
+    left waiting (reason: [Held_by_policy] if its window fits the free
+    capacity, [Blocked_by_reservation] if it would fit with reservation-
+    blocked capacity returned, [Blocked_by_capacity] otherwise), and
+    [Sim_wake] when the simulator force-wakes a stalled policy. With the
+    default null sink the run is byte-identical to the untraced build: the
+    only overhead is one physical-equality test per potential event. *)
 
 open Resa_core
 
@@ -26,14 +42,22 @@ type trace = {
 
 exception Policy_error of string
 (** Raised when a policy starts a job that does not fit, starts a job not in
-    the queue, or deadlocks (never starts a startable queue). *)
+    the queue, or deadlocks (never starts a startable queue). The message
+    names the policy, the offending job, the current time and — for capacity
+    violations — the requested window with its needed vs offered width. *)
 
 val run :
-  policy:Policy.t -> m:int -> ?reservations:Reservation.t list -> submitted list -> trace
+  ?obs:Resa_obs.Trace.t ->
+  policy:Policy.t ->
+  m:int ->
+  ?reservations:Reservation.t list ->
+  submitted list ->
+  trace
 (** Simulate to completion. Jobs must have distinct ids, [q <= m] and
     non-negative submit times; reservations must fit the machine. *)
 
 val run_estimated :
+  ?obs:Resa_obs.Trace.t ->
   policy:Policy.t ->
   m:int ->
   ?reservations:Reservation.t list ->

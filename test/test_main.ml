@@ -25,5 +25,6 @@ let () =
       ("swf", Test_swf.suite);
       ("stats", Test_stats.suite);
       ("par", Test_par.suite);
+      ("obs", Test_obs.suite);
       ("instance-io", Test_io.suite);
     ]

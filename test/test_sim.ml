@@ -252,7 +252,7 @@ let test_bounded_slowdown_bound () =
 (* --- reservation book --- *)
 
 let test_book_accepts_within_cap () =
-  let book = Reservation_book.create ~m:10 ~alpha:0.6 in
+  let book = Reservation_book.create ~m:10 ~alpha:0.6 () in
   Alcotest.(check int) "cap" 4 (Reservation_book.cap book);
   (match Reservation_book.request book ~start:0 ~p:5 ~q:3 with
   | Ok r -> Alcotest.(check int) "id 0" 0 (Reservation.id r)
@@ -262,13 +262,13 @@ let test_book_accepts_within_cap () =
   | Error e -> Alcotest.failf "disjoint window rejected: %a" Reservation_book.pp_rejection e
 
 let test_book_rejects_too_wide () =
-  let book = Reservation_book.create ~m:10 ~alpha:0.6 in
+  let book = Reservation_book.create ~m:10 ~alpha:0.6 () in
   match Reservation_book.request book ~start:0 ~p:1 ~q:5 with
   | Error (Reservation_book.Too_wide { q = 5; cap = 4 }) -> ()
   | _ -> Alcotest.fail "too-wide request accepted"
 
 let test_book_rejects_saturation () =
-  let book = Reservation_book.create ~m:10 ~alpha:0.6 in
+  let book = Reservation_book.create ~m:10 ~alpha:0.6 () in
   (match Reservation_book.request book ~start:0 ~p:10 ~q:3 with
   | Ok _ -> ()
   | Error _ -> Alcotest.fail "first rejected");
@@ -279,7 +279,7 @@ let test_book_rejects_saturation () =
 let test_book_keeps_alpha_restriction () =
   (* Whatever is granted, the resulting instance stays alpha-restricted. *)
   let rng = Prng.create ~seed:77 in
-  let book = Reservation_book.create ~m:16 ~alpha:0.5 in
+  let book = Reservation_book.create ~m:16 ~alpha:0.5 () in
   for _ = 1 to 50 do
     ignore
       (Reservation_book.request book
