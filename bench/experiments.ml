@@ -382,7 +382,7 @@ let t3 () =
         let trace = Resa_sim.Simulator.run ~policy ~m ~reservations subs in
         let s = Resa_sim.Metrics.summarize trace in
         Resa_sim.Metrics.row ~name:policy.Resa_sim.Policy.name s)
-      (Resa_sim.Policy.all ())
+      Resa_sim.Policy.all
   in
   List.iter print_endline rows;
   Printf.printf
@@ -456,7 +456,7 @@ let t4 () =
     Table.create
       ~headers:[ "est-factor"; "policy"; "Cmax"; "mean_wait"; "bnd_slowdn"; "util" ]
   in
-  let n_policies = List.length (Resa_sim.Policy.all ()) in
+  let n_policies = List.length Resa_sim.Policy.all in
   (* Flattened (factor, policy) grid. The trace of a factor is regenerated
      inside each task from its fixed seed — cheap, and it keeps every task
      independent of the others. *)
@@ -476,7 +476,7 @@ let t4 () =
       List.map (fun (job, submit, _) -> Resa_sim.Simulator.{ job; submit }) triples
     in
     let estimates = Array.of_list (List.map (fun (_, _, e) -> e) triples) in
-    let policy = List.nth (Resa_sim.Policy.all ()) policy_idx in
+    let policy = List.nth Resa_sim.Policy.all policy_idx in
     let trace = Resa_sim.Simulator.run_estimated ~policy ~m:32 ~estimates subs in
     let s = Resa_sim.Metrics.summarize trace in
     [

@@ -27,6 +27,7 @@ let registry =
     ("ablation", Experiments.ablation_alpha_cap);
     ("perf", Perf.run);
     ("scaling", Perf.scaling);
+    ("sim", Perf.sim_scaling);
   ]
 
 let usage () =
@@ -61,7 +62,10 @@ let () =
        the per-phase wall clocks recorded to BENCH_phases.json when a JSON
        directory is configured. Stdout is identical either way. *)
     let phases =
-      [ "fig1"; "fig2"; "fig3"; "fig4"; "t1"; "t2"; "t3"; "t4"; "t5"; "ablation"; "perf" ]
+      [
+        "fig1"; "fig2"; "fig3"; "fig4"; "t1"; "t2"; "t3"; "t4"; "t5"; "ablation"; "perf";
+        "sim";
+      ]
     in
     let records =
       List.map

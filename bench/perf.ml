@@ -68,7 +68,7 @@ let simulator_tests =
     Test.make ~name:"simulator/easy/n=200"
       (Staged.stage (fun () ->
            ignore
-             (Resa_sim.Simulator.run ~policy:(Resa_sim.Policy.easy ()) ~m:128 subs)));
+             (Resa_sim.Simulator.run ~policy:Resa_sim.Policy.easy ~m:128 subs)));
   ]
 
 let all_tests = algorithm_tests @ profile_tests @ heap_tests @ simulator_tests
@@ -183,6 +183,117 @@ let scaling () =
   Bench_json.write "scaling"
     (List.rev !records @ [ phase "prepare" prepare_s; phase "measure" measure_s ])
 
+(* --- simulator scaling series ------------------------------------------- *)
+
+let sim_workload_seed = 1236
+
+(* Reserved online workload: alpha-restricted jobs (mean work ~1.6k
+   core-units, so ~13 time units of service at m=128) arriving with mean
+   gap 16 — utilization ~0.8, queues stay bounded but never empty. *)
+let sim_subs n =
+  let rng = Prng.create ~seed:sim_workload_seed in
+  let inst =
+    Random_inst.alpha_restricted rng ~m:128 ~n ~alpha:0.5 ~pmax:100
+      ~n_reservations:(n / 20) ()
+  in
+  let arr = Arrivals.poisson rng ~n ~mean_gap:16.0 in
+  let subs =
+    List.init n (fun i -> Resa_sim.Simulator.{ job = Instance.job inst i; submit = arr.(i) })
+  in
+  (subs, Array.to_list (Instance.reservations inst))
+
+(* Whole-simulation wall clock under all four online policies, timeline-
+   native engine vs the retained Profile-snapshot reference policies on the
+   same seed. The reference pays one forward-profile export per decision;
+   that snapshot walks every not-yet-reached reservation edge, so the
+   reference engine is effectively quadratic in n and is capped per policy
+   (EASY is allowed the 50k column — that speedup is the headline number —
+   the rest stop at 10k). Above the cap only the native column is
+   measured; the EASY row at 200k is native-only by construction. *)
+let sim_scaling () =
+  Printf.printf
+    "\n=== PERF: simulator scaling (one full replay, m=128, n/20 reservations) ===\n";
+  let time f x =
+    let t0 = Resa_obs.Prof.now_ns () in
+    ignore (f x);
+    float_of_int (Resa_obs.Prof.now_ns () - t0) /. 1e9
+  in
+  let pretty s =
+    if s >= 1.0 then Printf.sprintf "%.2f s" s else Printf.sprintf "%.1f ms" (s *. 1000.)
+  in
+  let policies =
+    [
+      ("fcfs", Resa_sim.Policy.fcfs, Resa_sim.Policy.fcfs_reference, 10_000);
+      ( "conservative",
+        Resa_sim.Policy.conservative,
+        Resa_sim.Policy.conservative_reference,
+        10_000 );
+      ("easy", Resa_sim.Policy.easy, Resa_sim.Policy.easy_reference, 50_000);
+      ("lsrc", Resa_sim.Policy.aggressive, Resa_sim.Policy.aggressive_reference, 10_000);
+    ]
+  in
+  let sizes = if !small then [| 2_000 |] else [| 10_000; 50_000; 200_000 |] in
+  let t_prep0 = Resa_obs.Prof.now_ns () in
+  let prepared = Resa_par.parallel_map (fun n -> (n, sim_subs n)) sizes in
+  let prepare_s = float_of_int (Resa_obs.Prof.now_ns () - t_prep0) /. 1e9 in
+  let t_meas0 = Resa_obs.Prof.now_ns () in
+  let t =
+    Resa_stats.Table.create ~headers:[ "policy"; "n"; "timeline"; "profile"; "speedup" ]
+  in
+  let records = ref [] in
+  Array.iter
+    (fun (n, (subs, reservations)) ->
+      List.iter
+        (fun (name, native, reference, ref_cap) ->
+          let run policy =
+            Resa_sim.Simulator.run ~policy ~m:128 ~reservations subs
+          in
+          let fast_s = time run native in
+          let speedup =
+            if n > ref_cap then None
+            else begin
+              let ref_s = time run reference in
+              Some (ref_s, ref_s /. Float.max fast_s 1e-9)
+            end
+          in
+          let ref_cell, speedup_cell =
+            match speedup with
+            | None -> ("(skipped)", "-")
+            | Some (ref_s, sp) -> (pretty ref_s, Printf.sprintf "%.1fx" sp)
+          in
+          records :=
+            Bench_json.
+              {
+                experiment = "sim";
+                n;
+                algo = name;
+                wall_s = fast_s;
+                speedup = Option.map snd speedup;
+                domains = Resa_par.domain_count ();
+                seed = sim_workload_seed;
+              }
+            :: !records;
+          Resa_stats.Table.add_row t
+            [ name; string_of_int n; pretty fast_s; ref_cell; speedup_cell ])
+        policies)
+    prepared;
+  let measure_s = float_of_int (Resa_obs.Prof.now_ns () - t_meas0) /. 1e9 in
+  print_string (Resa_stats.Table.render t);
+  let phase name wall_s =
+    Bench_json.
+      {
+        experiment = "sim";
+        n = 0;
+        algo = "phase:" ^ name;
+        wall_s;
+        speedup = None;
+        domains = Resa_par.domain_count ();
+        seed = sim_workload_seed;
+      }
+  in
+  Bench_json.write "sim"
+    (List.rev !records @ [ phase "prepare" prepare_s; phase "measure" measure_s ])
+
 let run () =
   Printf.printf "\n=== PERF: Bechamel microbenchmarks (ns/run, OLS fit) ===\n";
   let ols =
@@ -196,8 +307,15 @@ let run () =
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
-      Hashtbl.iter
-        (fun name raw ->
+      (* Bechamel hands results back in a hash table: sort by benchmark name
+         so table rows and JSON records come out in a deterministic order. *)
+      let rows =
+        List.sort
+          (fun (a, _) (b, _) -> String.compare a b)
+          (Hashtbl.fold (fun name raw acc -> (name, raw) :: acc) results [])
+      in
+      List.iter
+        (fun (name, raw) ->
           let est = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
           let ns =
             match Analyze.OLS.estimates est with
@@ -223,7 +341,7 @@ let run () =
               }
             :: !records;
           Resa_stats.Table.add_row t [ name; pretty; Printf.sprintf "%.3f" r2 ])
-        results)
+        rows)
     all_tests;
   let microbench_s = float_of_int (Resa_obs.Prof.now_ns () - t_bench0) /. 1e9 in
   print_string (Resa_stats.Table.render t);

@@ -203,20 +203,14 @@ let simulate swf_path m n max_runtime mean_gap seed policy_name overestimate job
   let triples = Resa_swf.Swf.to_estimated_workload entries ~m in
   let subs = List.map (fun (job, submit, _) -> Resa_sim.Simulator.{ job; submit }) triples in
   let estimates = Array.of_list (List.map (fun (_, _, e) -> e) triples) in
-  let makers =
+  let policies =
     let open Resa_sim.Policy in
     match String.lowercase_ascii policy_name with
-    | "all" ->
-      [
-        (fun obs -> fcfs ~obs ());
-        (fun obs -> conservative ~obs ());
-        (fun obs -> easy ~obs ());
-        (fun obs -> aggressive ~obs ());
-      ]
-    | "fcfs" -> [ (fun obs -> fcfs ~obs ()) ]
-    | "easy" -> [ (fun obs -> easy ~obs ()) ]
-    | "cons" | "conservative" -> [ (fun obs -> conservative ~obs ()) ]
-    | "lsrc" | "aggressive" -> [ (fun obs -> aggressive ~obs ()) ]
+    | "all" -> all
+    | "fcfs" -> [ fcfs ]
+    | "easy" -> [ easy ]
+    | "cons" | "conservative" -> [ conservative ]
+    | "lsrc" | "aggressive" -> [ aggressive ]
     | other ->
       Printf.eprintf "unknown policy %S\n" other;
       exit 2
@@ -233,16 +227,15 @@ let simulate swf_path m n max_runtime mean_gap seed policy_name overestimate job
      in policy order. *)
   let results =
     Resa_par.parallel_map_list
-      (fun maker ->
+      (fun policy ->
         let obs = if tracing then Resa_obs.Trace.buffer () else Resa_obs.Trace.null in
-        let policy = maker obs in
         let trace = Resa_sim.Simulator.run_estimated ~obs ~policy ~m ~estimates subs in
         let s = Resa_sim.Metrics.summarize trace in
         ( policy.Resa_sim.Policy.name,
           Resa_sim.Metrics.row ~name:policy.Resa_sim.Policy.name s,
           trace,
           obs ))
-      makers
+      policies
   in
   List.iter (fun (_, row, _, _) -> print_endline row) results;
   Option.iter

@@ -46,7 +46,7 @@ let () =
       print_endline
         (Resa_sim.Metrics.row ~name:policy.Resa_sim.Policy.name
            (Resa_sim.Metrics.summarize trace)))
-    (Resa_sim.Policy.all ());
+    Resa_sim.Policy.all;
   Printf.printf
     "\nThe online ordering mirrors the offline one: backfilling recovers most of the\n\
      utilization FCFS wastes, and the aggressive list policy packs tightest at the\n\

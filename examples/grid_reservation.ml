@@ -53,7 +53,7 @@ let () =
       let trace = Resa_sim.Simulator.run ~policy ~m ~reservations subs in
       let s = Resa_sim.Metrics.summarize trace in
       print_endline (Resa_sim.Metrics.row ~name:policy.Resa_sim.Policy.name s))
-    (Resa_sim.Policy.all ());
+    Resa_sim.Policy.all;
 
   (* --- 4. The reservation holders got exactly their windows. --- *)
   Printf.printf "\nBlocked-capacity profile accepted by the book:\n";

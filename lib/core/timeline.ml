@@ -22,7 +22,16 @@ type t = {
   mutable mx : int array;
   mutable ad : int array;
   mutable n_nodes : int;
+  (* Undo log: packed (lo, hi, delta) triples of every [change] applied while
+     at least one checkpoint is outstanding. Rollback replays inverses from
+     the top; with no checkpoint outstanding nothing is recorded, so the
+     steady-state cost of the log is one branch per mutation. *)
+  mutable ulog : int array;
+  mutable ulog_len : int; (* in triples *)
+  mutable specs : int; (* outstanding checkpoints *)
 }
+
+type mark = int
 
 let new_node t v =
   let id = t.n_nodes in
@@ -60,6 +69,9 @@ let create c =
       mx = Array.make 64 0;
       ad = Array.make 64 0;
       n_nodes = 1;
+      ulog = [||];
+      ulog_len = 0;
+      specs = 0;
     }
   in
   t.root <- new_node t c;
@@ -158,6 +170,10 @@ let c_min_on = Resa_obs.Prof.counter "timeline.min_on"
 let c_change = Resa_obs.Prof.counter "timeline.change"
 let c_reserve = Resa_obs.Prof.counter "timeline.reserve"
 let c_earliest_fit = Resa_obs.Prof.counter "timeline.earliest_fit"
+let c_checkpoint = Resa_obs.Prof.counter "timeline.checkpoint"
+let c_rollback = Resa_obs.Prof.counter "timeline.rollback"
+let c_commit = Resa_obs.Prof.counter "timeline.commit"
+let c_undone = Resa_obs.Prof.counter "timeline.changes_undone"
 
 let value_at t x =
   if x < 0 then invalid_arg "Timeline: negative time";
@@ -191,6 +207,19 @@ let max_on t ~lo ~hi =
     query t t.root 0 t.size lo hi ~want_min:false
   end
 
+let log_change t lo hi delta =
+  let i = 3 * t.ulog_len in
+  if i + 3 > Array.length t.ulog then begin
+    let cap = max 24 (2 * Array.length t.ulog) in
+    let b = Array.make cap 0 in
+    Array.blit t.ulog 0 b 0 i;
+    t.ulog <- b
+  end;
+  t.ulog.(i) <- lo;
+  t.ulog.(i + 1) <- hi;
+  t.ulog.(i + 2) <- delta;
+  t.ulog_len <- t.ulog_len + 1
+
 let change t ~lo ~hi ~delta =
   Resa_obs.Prof.incr c_change;
   if lo < hi && delta <> 0 then begin
@@ -199,8 +228,38 @@ let change t ~lo ~hi ~delta =
        range (the size > last_hi invariant). *)
     ensure t (hi + 1);
     upd t t.root 0 t.size lo hi delta;
-    if hi > t.last_hi then t.last_hi <- hi
+    if hi > t.last_hi then t.last_hi <- hi;
+    if t.specs > 0 then log_change t lo hi delta
   end
+
+let checkpoint t =
+  Resa_obs.Prof.incr c_checkpoint;
+  t.specs <- t.specs + 1;
+  t.ulog_len
+
+let check_mark t m name =
+  if t.specs = 0 || m < 0 || m > t.ulog_len then
+    invalid_arg (name ^ ": stale or non-LIFO mark")
+
+let rollback t m =
+  Resa_obs.Prof.incr c_rollback;
+  check_mark t m "Timeline.rollback";
+  Resa_obs.Prof.add c_undone (t.ulog_len - m);
+  for i = t.ulog_len - 1 downto m do
+    let j = 3 * i in
+    (* The window was [ensure]d when the change was recorded and the universe
+       never shrinks, so the inverse add can hit the tree directly. *)
+    upd t t.root 0 t.size t.ulog.(j) t.ulog.(j + 1) (-t.ulog.(j + 2))
+  done;
+  t.ulog_len <- m;
+  t.specs <- t.specs - 1;
+  if t.specs = 0 then t.ulog_len <- 0
+
+let commit t m =
+  Resa_obs.Prof.incr c_commit;
+  check_mark t m "Timeline.commit";
+  t.specs <- t.specs - 1;
+  if t.specs = 0 then t.ulog_len <- 0
 
 let reserve t ~start ~dur ~need =
   Resa_obs.Prof.incr c_reserve;

@@ -64,6 +64,37 @@ val earliest_fit : t -> from:int -> dur:int -> need:int -> int option
     window / leftmost value [>= need] after the blocker). [None] exactly
     when the tail value is below [need]. Requires [dur >= 1]. *)
 
+(** {2 Speculation}
+
+    A checkpoint opens an undo scope: every {!change} (and hence every
+    {!reserve}) applied while at least one checkpoint is outstanding is
+    recorded in an internal log, and {!rollback} replays exact inverses —
+    O(ops · log U) to speculate and retract, independent of the timeline's
+    size. This is the primitive behind trial backfills (EASY) and replans
+    (conservative): reserve tentatively, inspect the consequences, keep or
+    retract.
+
+    Checkpoints nest and must be resolved strictly LIFO: the innermost
+    outstanding mark must be rolled back or committed first ([rollback] and
+    [commit] raise [Invalid_argument] on a stale or out-of-order mark where
+    detectable). [commit] keeps the speculated changes but merely closes the
+    scope — an enclosing checkpoint still undoes them on its own rollback.
+    With no checkpoint outstanding the log is empty and mutations pay a
+    single extra branch. *)
+
+type mark
+(** An open undo scope, as returned by {!checkpoint}. *)
+
+val checkpoint : t -> mark
+(** Open an undo scope at the current state. *)
+
+val rollback : t -> mark -> unit
+(** Undo every change recorded since the mark (inverse range-adds, newest
+    first) and close the scope. *)
+
+val commit : t -> mark -> unit
+(** Close the scope keeping all changes since the mark. *)
+
 val next_breakpoint_after : t -> int -> int option
 (** Smallest instant [> t] where the value changes, if any — agrees with
     [Profile.next_breakpoint_after] on the normalized profile. *)

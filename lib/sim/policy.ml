@@ -7,15 +7,23 @@ type action = {
   wake : int option;
 }
 
+type decide = time:int -> queue:Job.t list -> free:View.t -> action
+
 type t = {
   name : string;
-  decide : time:int -> queue:Job.t list -> free:Profile.t -> action;
+  create : obs:Resa_obs.Trace.t -> decide;
 }
 
-let fits free ~time job = Profile.min_on free ~lo:time ~hi:(time + Job.p job) >= Job.q job
+(* --- timeline-native policies ------------------------------------------- *)
+
+let fits free ~time job = View.fits free ~at:time ~dur:(Job.p job) ~need:(Job.q job)
 
 let earliest free ~from job =
-  Option.get (Profile.earliest_fit free ~from ~dur:(Job.p job) ~need:(Job.q job))
+  Option.get (View.earliest_fit free ~from ~dur:(Job.p job) ~need:(Job.q job))
+
+(* Speculative allocation of [job]'s window at [time]; retracted by the
+   simulator's post-decision rollback. *)
+let take free ~time job = View.reserve free ~start:time ~dur:(Job.p job) ~need:(Job.q job)
 
 (* Per-policy decision counters (RESA_PROF). *)
 let c_fcfs = Prof.counter "policy.decide.FCFS"
@@ -23,16 +31,16 @@ let c_lsrc = Prof.counter "policy.decide.LSRC"
 let c_easy = Prof.counter "policy.decide.EASY"
 let c_cons = Prof.counter "policy.decide.CONS"
 
-let fcfs ?(obs = Trace.null) () =
-  let decide ~time ~queue ~free =
+let fcfs =
+  let create ~obs ~time ~queue ~free =
     Prof.incr c_fcfs;
     (* Start the longest startable prefix; the blocked head, if any, yields
        the next wake-up. *)
-    let rec go free = function
+    let rec go = function
       | [] -> ([], None)
       | head :: rest when fits free ~time head ->
-        let free = Profile.reserve free ~start:time ~dur:(Job.p head) ~need:(Job.q head) in
-        let started, wake = go free rest in
+        take free ~time head;
+        let started, wake = go rest in
         (head :: started, wake)
       | head :: _ ->
         let at = earliest free ~from:(time + 1) head in
@@ -40,47 +48,199 @@ let fcfs ?(obs = Trace.null) () =
           Trace.emit obs (Trace.Planned { time; policy = "FCFS"; job = Job.id head; at });
         ([], Some at)
     in
+    let start_now, wake = go queue in
+    { start_now; wake }
+  in
+  { name = "FCFS"; create }
+
+let aggressive =
+  let create ~obs:_ ~time ~queue ~free =
+    Prof.incr c_lsrc;
+    let rec go = function
+      | [] -> []
+      | j :: rest when fits free ~time j ->
+        take free ~time j;
+        j :: go rest
+      | _ :: rest -> go rest
+    in
+    { start_now = go queue; wake = None }
+  in
+  { name = "LSRC"; create }
+
+let easy =
+  let create ~obs ~time ~queue ~free =
+    Prof.incr c_easy;
+    let rec pop_prefix = function
+      | head :: rest when fits free ~time head ->
+        take free ~time head;
+        let started, wake = pop_prefix rest in
+        (head :: started, wake)
+      | [] -> ([], None)
+      | head :: rest ->
+        (* Head blocked: protect its guaranteed start while backfilling.
+           Each candidate is tried under a checkpoint — reserved, the
+           guarantee re-derived — and kept or rolled back. *)
+        let guaranteed = earliest free ~from:time head in
+        if Trace.enabled obs then
+          Trace.emit obs
+            (Trace.Planned { time; policy = "EASY"; job = Job.id head; at = guaranteed });
+        let rec backfill acc = function
+          | [] -> List.rev acc
+          | j :: tl ->
+            if fits free ~time j then begin
+              let mark = View.checkpoint free in
+              take free ~time j;
+              if earliest free ~from:time head <= guaranteed then begin
+                View.commit free mark;
+                backfill (j :: acc) tl
+              end
+              else begin
+                View.rollback free mark;
+                backfill acc tl
+              end
+            end
+            else backfill acc tl
+        in
+        (backfill [] rest, Some guaranteed)
+    in
+    let start_now, wake = pop_prefix queue in
+    { start_now; wake }
+  in
+  { name = "EASY"; create }
+
+let conservative =
+  let create ~obs =
+    (* Per-run plan state, freshly scoped by the factory: the plan timeline
+       holds availability minus every planned (and once-planned) window;
+       [planned] maps job id to its promised start. *)
+    let planned : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let plan = ref None in
+    fun ~time ~queue ~free ->
+      Prof.incr c_cons;
+      let p =
+        match !plan with
+        | Some p -> p
+        | None ->
+          (* First decision: seed the plan with the forward capacity (the
+             only profile export conservative ever pays, once per run). *)
+          let p = Timeline.of_profile (View.snapshot free) in
+          plan := Some p;
+          p
+      in
+      let plan_job j ~from =
+        let s =
+          Option.get (Timeline.earliest_fit p ~from ~dur:(Job.p j) ~need:(Job.q j))
+        in
+        Hashtbl.replace planned (Job.id j) s;
+        if Trace.enabled obs then
+          Trace.emit obs (Trace.Planned { time; policy = "CONS"; job = Job.id j; at = s });
+        Timeline.reserve p ~start:s ~dur:(Job.p j) ~need:(Job.q j);
+        s
+      in
+      (* Plan newly arrived jobs at their earliest non-delaying start. *)
+      List.iter
+        (fun j -> if not (Hashtbl.mem planned (Job.id j)) then ignore (plan_job j ~from:time))
+        queue;
+      (* Launch jobs whose planned instant has come; replan stragglers
+         defensively (should not happen when wake-ups are honoured). *)
+      let start_now =
+        List.filter
+          (fun j ->
+            let s = Hashtbl.find planned (Job.id j) in
+            if s = time then true
+            else if s < time then begin
+              (* Undo the stale window with the inverse range-add, replan
+                 from now. *)
+              Timeline.change p ~lo:s ~hi:(s + Job.p j) ~delta:(Job.q j);
+              plan_job j ~from:time = time
+            end
+            else false)
+          queue
+      in
+      let started : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+      List.iter (fun j -> Hashtbl.replace started (Job.id j) ()) start_now;
+      let wake =
+        List.fold_left
+          (fun acc j ->
+            if Hashtbl.mem started (Job.id j) then acc
+            else begin
+              let s = Hashtbl.find planned (Job.id j) in
+              if s > time then Some (match acc with None -> s | Some a -> min a s) else acc
+            end)
+          None queue
+      in
+      { start_now; wake }
+  in
+  { name = "CONS"; create }
+
+let all = [ fcfs; conservative; easy; aggressive ]
+
+(* --- Profile-based reference oracles ------------------------------------ *)
+
+(* The pre-timeline-native engine, verbatim: every decision exports the
+   forward profile once (what the simulator used to hand every policy) and
+   re-derives its plan with persistent [Profile] chains. Same names, same
+   decisions — the differential suite holds the native policies to that. *)
+
+let p_fits free ~time job = Profile.min_on free ~lo:time ~hi:(time + Job.p job) >= Job.q job
+
+let p_earliest free ~from job =
+  Option.get (Profile.earliest_fit free ~from ~dur:(Job.p job) ~need:(Job.q job))
+
+let fcfs_reference =
+  let create ~obs ~time ~queue ~free =
+    let free = View.snapshot free in
+    let rec go free = function
+      | [] -> ([], None)
+      | head :: rest when p_fits free ~time head ->
+        let free = Profile.reserve free ~start:time ~dur:(Job.p head) ~need:(Job.q head) in
+        let started, wake = go free rest in
+        (head :: started, wake)
+      | head :: _ ->
+        let at = p_earliest free ~from:(time + 1) head in
+        if Trace.enabled obs then
+          Trace.emit obs (Trace.Planned { time; policy = "FCFS"; job = Job.id head; at });
+        ([], Some at)
+    in
     let start_now, wake = go free queue in
     { start_now; wake }
   in
-  { name = "FCFS"; decide }
+  { name = "FCFS"; create }
 
-let aggressive ?(obs = Trace.null) () =
-  ignore obs;
-  let decide ~time ~queue ~free =
-    Prof.incr c_lsrc;
+let aggressive_reference =
+  let create ~obs:_ ~time ~queue ~free =
+    let free = View.snapshot free in
     let rec go free = function
       | [] -> []
-      | j :: rest when fits free ~time j ->
+      | j :: rest when p_fits free ~time j ->
         let free = Profile.reserve free ~start:time ~dur:(Job.p j) ~need:(Job.q j) in
         j :: go free rest
       | _ :: rest -> go free rest
     in
     { start_now = go free queue; wake = None }
   in
-  { name = "LSRC"; decide }
+  { name = "LSRC"; create }
 
-let easy ?(obs = Trace.null) () =
-  let decide ~time ~queue ~free =
-    Prof.incr c_easy;
+let easy_reference =
+  let create ~obs ~time ~queue ~free =
+    let free = View.snapshot free in
     let rec pop_prefix free = function
-      | head :: rest when fits free ~time head ->
+      | head :: rest when p_fits free ~time head ->
         let free = Profile.reserve free ~start:time ~dur:(Job.p head) ~need:(Job.q head) in
         let started, wake = pop_prefix free rest in
         (head :: started, wake)
       | [] -> ([], None)
       | head :: rest ->
-        (* Head blocked: protect its guaranteed start while backfilling. *)
-        let guaranteed = earliest free ~from:time head in
+        let guaranteed = p_earliest free ~from:time head in
         if Trace.enabled obs then
           Trace.emit obs
             (Trace.Planned { time; policy = "EASY"; job = Job.id head; at = guaranteed });
         let rec backfill free = function
           | [] -> []
           | j :: tl ->
-            if fits free ~time j then begin
+            if p_fits free ~time j then begin
               let free' = Profile.reserve free ~start:time ~dur:(Job.p j) ~need:(Job.q j) in
-              if earliest free' ~from:time head <= guaranteed then j :: backfill free' tl
+              if p_earliest free' ~from:time head <= guaranteed then j :: backfill free' tl
               else backfill free tl
             end
             else backfill free tl
@@ -90,60 +250,61 @@ let easy ?(obs = Trace.null) () =
     let start_now, wake = pop_prefix free queue in
     { start_now; wake }
   in
-  { name = "EASY"; decide }
+  { name = "EASY"; create }
 
-let conservative ?(obs = Trace.null) () =
-  let planned : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  let plan = ref None (* plan profile, lazily initialised from [free] *) in
-  let decide ~time ~queue ~free =
-    Prof.incr c_cons;
-    let p = match !plan with None -> free | Some p -> p in
-    (* Plan newly arrived jobs at their earliest non-delaying start. *)
-    let p =
-      List.fold_left
-        (fun p j ->
-          if Hashtbl.mem planned (Job.id j) then p
-          else begin
-            let s = earliest p ~from:time j in
-            Hashtbl.replace planned (Job.id j) s;
-            if Trace.enabled obs then
-              Trace.emit obs (Trace.Planned { time; policy = "CONS"; job = Job.id j; at = s });
-            Profile.reserve p ~start:s ~dur:(Job.p j) ~need:(Job.q j)
-          end)
-        p queue
-    in
-    (* Launch jobs whose planned instant has come; replan stragglers
-       defensively (should not happen when wake-ups are honoured). *)
-    let p = ref p in
-    let start_now =
-      List.filter
-        (fun j ->
-          let s = Hashtbl.find planned (Job.id j) in
-          if s = time then true
-          else if s < time then begin
-            (* Undo the stale window, replan from now. *)
-            p := Profile.change !p ~lo:s ~hi:(s + Job.p j) ~delta:(Job.q j);
-            let s' = earliest !p ~from:time j in
-            Hashtbl.replace planned (Job.id j) s';
-            if Trace.enabled obs then
-              Trace.emit obs (Trace.Planned { time; policy = "CONS"; job = Job.id j; at = s' });
-            p := Profile.reserve !p ~start:s' ~dur:(Job.p j) ~need:(Job.q j);
-            s' = time
-          end
-          else false)
-        queue
-    in
-    plan := Some !p;
-    let wake =
-      List.fold_left
-        (fun acc j ->
-          let s = Hashtbl.find planned (Job.id j) in
-          if s > time then Some (match acc with None -> s | Some a -> min a s) else acc)
-        None
-        (List.filter (fun j -> not (List.memq j start_now)) queue)
-    in
-    { start_now; wake }
+let conservative_reference =
+  let create ~obs =
+    let planned : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let plan = ref None in
+    fun ~time ~queue ~free ->
+      (* The per-decision snapshot is the cost being measured: the old
+         engine rebuilt this profile at every event whether or not the
+         decision consulted it. *)
+      let snap = View.snapshot free in
+      let p = match !plan with None -> snap | Some p -> p in
+      let p =
+        List.fold_left
+          (fun p j ->
+            if Hashtbl.mem planned (Job.id j) then p
+            else begin
+              let s = p_earliest p ~from:time j in
+              Hashtbl.replace planned (Job.id j) s;
+              if Trace.enabled obs then
+                Trace.emit obs (Trace.Planned { time; policy = "CONS"; job = Job.id j; at = s });
+              Profile.reserve p ~start:s ~dur:(Job.p j) ~need:(Job.q j)
+            end)
+          p queue
+      in
+      let p = ref p in
+      let start_now =
+        List.filter
+          (fun j ->
+            let s = Hashtbl.find planned (Job.id j) in
+            if s = time then true
+            else if s < time then begin
+              p := Profile.change !p ~lo:s ~hi:(s + Job.p j) ~delta:(Job.q j);
+              let s' = p_earliest !p ~from:time j in
+              Hashtbl.replace planned (Job.id j) s';
+              if Trace.enabled obs then
+                Trace.emit obs (Trace.Planned { time; policy = "CONS"; job = Job.id j; at = s' });
+              p := Profile.reserve !p ~start:s' ~dur:(Job.p j) ~need:(Job.q j);
+              s' = time
+            end
+            else false)
+          queue
+      in
+      plan := Some !p;
+      let wake =
+        List.fold_left
+          (fun acc j ->
+            let s = Hashtbl.find planned (Job.id j) in
+            if s > time then Some (match acc with None -> s | Some a -> min a s) else acc)
+          None
+          (List.filter (fun j -> not (List.memq j start_now)) queue)
+      in
+      { start_now; wake }
   in
-  { name = "CONS"; decide }
+  { name = "CONS"; create }
 
-let all ?obs () = [ fcfs ?obs (); conservative ?obs (); easy ?obs (); aggressive ?obs () ]
+let all_reference =
+  [ fcfs_reference; conservative_reference; easy_reference; aggressive_reference ]

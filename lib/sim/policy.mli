@@ -1,27 +1,38 @@
 (** Pluggable online scheduling policies for the simulator.
 
     A policy is consulted at every simulation event. It sees the current
-    time, the submission-ordered queue of waiting jobs, and the forward
-    capacity profile [free] (machine availability minus reservations minus
-    windows of running jobs). [free] is exact from the current [time]
-    onwards only — the simulator collapses the dead history before [time]
-    to a constant — so decisions must not inspect past instants (none of
-    the policies here do). It answers with the queued jobs to start right
-    now — each must fit its whole window at the current time — and an
-    optional extra wake-up instant (needed by planning policies whose next
-    action time is not a simulator event).
+    time, the submission-ordered queue of waiting jobs, and a {!View.t}
+    over the simulator's live capacity timeline (machine availability minus
+    reservations minus windows of running jobs). It answers with the queued
+    jobs to start right now — each must fit its whole window at the current
+    time — and an optional extra wake-up instant (needed by planning
+    policies whose next action time is not a simulator event).
 
-    Policies are stateful (planning tables); build a fresh value per
-    simulation run.
+    The view is speculative: the simulator opens a {!Resa_core.Timeline}
+    checkpoint around every [decide] call and rolls it back afterwards, so
+    a decision may reserve trial windows ([View.reserve], nested
+    [View.checkpoint]/[rollback]/[commit]) while reasoning, with every
+    query reflecting its own tentative reservations at O(log U) — no
+    persistent profile is ever rebuilt. Decisions must not inspect instants
+    before the current time (none of the policies here do).
 
-    Every constructor takes an optional tracer [?obs] (default
-    {!Resa_obs.Trace.null}): with a live sink, planning policies emit
-    {!Resa_obs.Trace.Planned} events recording the start instant they
-    currently promise a blocked or planned job — the policy-side half of
-    decision provenance (the simulator emits the start/blocked half). With
-    the default sink the decision logic is byte-identical to the untraced
-    build. Each [decide] call also bumps a per-policy [Prof] counter when
-    profiling is enabled. *)
+    A {!t} is a {e factory}: [create ~obs] is invoked once per simulation
+    run and returns that run's [decide], so planning state (conservative's
+    plan table, EASY's guarantees) is freshly scoped per run — sharing one
+    [t] across runs, sequentially or from parallel domains, is safe by
+    construction. [obs] is the simulator's tracer: with a live sink,
+    planning policies emit {!Resa_obs.Trace.Planned} events recording the
+    start instant they currently promise a blocked or planned job — the
+    policy-side half of decision provenance. With the null sink the
+    decision logic is byte-identical to the untraced build. Each [decide]
+    call also bumps a per-policy [Prof] counter when profiling is enabled.
+
+    The [*_reference] values are the retained Profile-based oracles (repo
+    convention: every timeline hot path keeps its persistent twin): same
+    names, same decisions, but each decision snapshots the forward profile
+    and re-derives plans with persistent [Profile.reserve]/[earliest_fit]
+    chains — exactly the pre-timeline-native engine, kept for the
+    differential suite and the before/after benchmark. *)
 
 open Resa_core
 
@@ -30,32 +41,47 @@ type action = {
   wake : int option;  (** Extra decision instant strictly after [time]. *)
 }
 
+type decide = time:int -> queue:Job.t list -> free:View.t -> action
+
 type t = {
   name : string;
-  decide : time:int -> queue:Job.t list -> free:Profile.t -> action;
+  create : obs:Resa_obs.Trace.t -> decide;
+      (** Fresh per-run decision function; called once by [Simulator.run]. *)
 }
 
-val fcfs : ?obs:Resa_obs.Trace.t -> unit -> t
+val fcfs : t
 (** Strict FCFS: only the queue head may start; it starts at the first
     instant its whole window fits. Emits the blocked head's next feasible
     start as a [Planned] event. *)
 
-val conservative : ?obs:Resa_obs.Trace.t -> unit -> t
+val conservative : t
 (** Conservative backfilling: each job is planned at submission at the
     earliest start that delays no previously planned job, and starts exactly
-    at its planned time. Emits a [Planned] event per (re)planning. *)
+    at its planned time. The plan lives in the policy's own mutable
+    timeline, built once per run and updated incrementally (stale windows
+    undone with an inverse range-add on replans). Emits a [Planned] event
+    per (re)planning. *)
 
-val easy : ?obs:Resa_obs.Trace.t -> unit -> t
+val easy : t
 (** EASY backfilling: the head holds a guaranteed earliest start; any other
-    job may start now if that guarantee is not pushed back. Emits the head's
-    guarantee as a [Planned] event. *)
+    job may start now if that guarantee is not pushed back — checked by a
+    trial reservation under a checkpoint, kept on success and rolled back
+    otherwise. Emits the head's guarantee as a [Planned] event. *)
 
-val aggressive : ?obs:Resa_obs.Trace.t -> unit -> t
+val aggressive : t
 (** List scheduling (LSRC): start every queued job that fits, in queue
     order. With all jobs submitted at time 0 this reproduces [Lsrc.run]
     exactly (tested). Emits no policy events (the simulator's provenance
     classification covers it). *)
 
-val all : ?obs:Resa_obs.Trace.t -> unit -> t list
-(** Fresh instances of the four policies, in the order above, sharing one
-    tracer. *)
+val all : t list
+(** The four policies, in the order above. *)
+
+val fcfs_reference : t
+val conservative_reference : t
+val easy_reference : t
+val aggressive_reference : t
+
+val all_reference : t list
+(** Profile-based oracle twins of {!all}, same order and names: identical
+    decisions derived from a per-decision forward-profile snapshot. *)

@@ -66,12 +66,22 @@ let run_estimated ?(obs = Trace.null) ~policy ~m ?(reservations = []) ~estimates
   Array.iter
     (fun t -> Event_heap.push events ~time:t Wake)
     (Profile.breakpoints (Instance.availability base));
-  (* Free capacity lives in a mutable timeline (O(log U) per start/release);
-     policies still receive a persistent [Profile.t] — the forward view from
-     the current instant, which collapses the dead history segments that used
-     to accumulate in the profile for the whole simulation. *)
+  (* Free capacity lives in one mutable timeline for the whole run (O(log U)
+     per start/release/query). Policies work against it through a [View]:
+     each decision runs under a checkpoint that is rolled back afterwards,
+     so trial reservations made while deciding never leak — and no
+     persistent profile is ever rebuilt on this path. *)
   let free = Timeline.of_profile (Instance.availability base) in
-  let queue = ref [] (* reversed submission order, estimated jobs *) in
+  let view = View.make free in
+  (* The policy's per-run state is created here — plans cannot leak across
+     runs by construction. *)
+  let decide = policy.Policy.create ~obs in
+  (* Waiting jobs in submission order; [pending] batches arrivals drained
+     since the last decision (newest first), [in_queue] gives O(1)
+     membership by id. *)
+  let queue = ref [] in
+  let pending = ref [] in
+  let in_queue : (int, unit) Hashtbl.t = Hashtbl.create n in
   let starts : (int, int) Hashtbl.t = Hashtbl.create n in
   let forced = ref false in
   let width_of : (int, int) Hashtbl.t = Hashtbl.create n in
@@ -88,7 +98,8 @@ let run_estimated ?(obs = Trace.null) ~policy ~m ?(reservations = []) ~estimates
     | Some t' when t' = t ->
       (match Event_heap.pop events with
       | Some (_, Arrival i) ->
-        queue := estimated.(i) :: !queue;
+        pending := estimated.(i) :: !pending;
+        Hashtbl.replace in_queue (Job.id estimated.(i)) ();
         if tracing then begin
           let j = subs.(i).job in
           Trace.emit obs
@@ -124,8 +135,7 @@ let run_estimated ?(obs = Trace.null) ~policy ~m ?(reservations = []) ~estimates
           raise
             (Policy_error
                (Format.asprintf "%s deadlocked at t=%d with %d queued jobs (head %a)"
-                  policy.Policy.name !last_t (List.length !queue) Job.pp
-                  (List.hd (List.rev !queue))))
+                  policy.Policy.name !last_t (List.length !queue) Job.pp (List.hd !queue)))
         else begin
           (* No event left but jobs wait: past the last breakpoint the whole
              machine is free, so a correct policy must start them; wake it
@@ -139,18 +149,30 @@ let run_estimated ?(obs = Trace.null) ~policy ~m ?(reservations = []) ~estimates
     | Some t ->
       drain t;
       last_t := t;
-      let q_now = List.rev !queue in
-      let action =
-        policy.Policy.decide ~time:t ~queue:q_now ~free:(Timeline.to_profile ~from:t free)
-      in
+      if !pending <> [] then begin
+        queue := !queue @ List.rev !pending;
+        pending := []
+      end;
+      let q_now = !queue in
+      View.set_now view t;
+      let spec = Timeline.checkpoint free in
+      let action = decide ~time:t ~queue:q_now ~free:view in
+      Timeline.rollback free spec;
       let start_now = action.Policy.start_now and wake = action.Policy.wake in
+      (* Validate starts against the id set — O(1) per started job. A started
+         id must be queued and not already started this decision. *)
+      let started_set : (int, unit) Hashtbl.t =
+        Hashtbl.create (1 + (2 * List.length start_now))
+      in
       List.iter
         (fun j ->
-          if not (List.exists (fun qj -> Job.id qj = Job.id j) q_now) then
+          let id = Job.id j in
+          if (not (Hashtbl.mem in_queue id)) || Hashtbl.mem started_set id then
             raise
               (Policy_error
                  (Format.asprintf "%s started %a at t=%d which is not in the queue"
-                    policy.Policy.name Job.pp j t)))
+                    policy.Policy.name Job.pp j t));
+          Hashtbl.replace started_set id ())
         start_now;
       (* Start provenance: a job that overtakes an earlier-queued job that
          stays waiting was backfilled; classification happens against the
@@ -165,40 +187,41 @@ let run_estimated ?(obs = Trace.null) ~policy ~m ?(reservations = []) ~estimates
                started = List.length start_now;
                wake;
              });
-        let started_id id = List.exists (fun s -> Job.id s = id) start_now in
-        let first_wait =
-          let rec go pos = function
-            | [] -> None
-            | j :: _ when not (started_id (Job.id j)) -> Some (pos, j)
-            | _ :: rest -> go (pos + 1) rest
-          in
-          go 0 q_now
-        in
-        List.iter
-          (fun j ->
-            let pos = ref 0 in
-            List.iteri (fun i qj -> if Job.id qj = Job.id j then pos := i) q_now;
-            let provenance =
-              match first_wait with
-              | Some (wpos, _) when !pos > wpos -> Trace.Backfilled_ahead_of_head
-              | _ -> Trace.Started_now
+        if start_now <> [] then begin
+          let pos_of : (int, int) Hashtbl.t = Hashtbl.create 64 in
+          List.iteri (fun i qj -> Hashtbl.replace pos_of (Job.id qj) i) q_now;
+          let first_wait =
+            let rec go pos = function
+              | [] -> None
+              | j :: _ when not (Hashtbl.mem started_set (Job.id j)) -> Some pos
+              | _ :: rest -> go (pos + 1) rest
             in
-            Trace.emit obs
-              (Trace.Job_start
-                 {
-                   time = t;
-                   job = Job.id j;
-                   wait = t - Hashtbl.find submit_of (Job.id j);
-                   provenance;
-                 }))
-          start_now
+            go 0 q_now
+          in
+          List.iter
+            (fun j ->
+              let pos = Hashtbl.find pos_of (Job.id j) in
+              let provenance =
+                match first_wait with
+                | Some wpos when pos > wpos -> Trace.Backfilled_ahead_of_head
+                | _ -> Trace.Started_now
+              in
+              Trace.emit obs
+                (Trace.Job_start
+                   {
+                     time = t;
+                     job = Job.id j;
+                     wait = t - Hashtbl.find submit_of (Job.id j);
+                     provenance;
+                   }))
+            start_now
+        end
       end;
       List.iter (fun j -> start_job t j) start_now;
       (* Why is the head (the first job left waiting) not running? Checked
          after the starts, against the capacity it actually faces. *)
       if tracing then begin
-        let started_id id = List.exists (fun s -> Job.id s = id) start_now in
-        match List.find_opt (fun j -> not (started_id (Job.id j))) q_now with
+        match List.find_opt (fun j -> not (Hashtbl.mem started_set (Job.id j))) q_now with
         | None -> ()
         | Some jh ->
           let est = Hashtbl.find est_p (Job.id jh) in
@@ -207,6 +230,8 @@ let run_estimated ?(obs = Trace.null) ~policy ~m ?(reservations = []) ~estimates
           let reason =
             if have >= need then Trace.Held_by_policy
             else begin
+              (* The only profile export left in the simulator: a lazily
+                 evaluated tracing-only classification aid. *)
               let without_resv =
                 Profile.add (Timeline.to_profile ~from:t free) (Lazy.force resv_blocked)
               in
@@ -228,8 +253,10 @@ let run_estimated ?(obs = Trace.null) ~policy ~m ?(reservations = []) ~estimates
                  have;
                })
       end;
-      queue :=
-        List.filter (fun j -> not (List.exists (fun s -> Job.id s = Job.id j) start_now)) !queue;
+      if start_now <> [] then begin
+        List.iter (fun j -> Hashtbl.remove in_queue (Job.id j)) start_now;
+        queue := List.filter (fun j -> Hashtbl.mem in_queue (Job.id j)) !queue
+      end;
       (match wake with
       | Some w when w > t -> Event_heap.push events ~time:w Wake
       | Some _ | None -> ());

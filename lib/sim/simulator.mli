@@ -6,10 +6,23 @@
     deterministic: events at equal instants are processed in insertion
     order, queues are kept in submission order.
 
+    Free capacity lives in one mutable {!Resa_core.Timeline.t} for the whole
+    run; policies access it through a {!View.t}, and every [decide] call runs
+    under a timeline checkpoint that is rolled back afterwards, so trial
+    reservations made while deciding never leak. No persistent profile is
+    rebuilt anywhere on the decision path (the one remaining
+    [Timeline.to_profile] is a lazily evaluated tracing-only classification
+    aid), and queue-membership checks are O(1) via id hash sets — a decision
+    step costs O((starts + queries) · log U) rather than O(history).
+
+    The policy's per-run decision function is created at the start of each
+    run ([policy.create ~obs]), so planning state cannot leak across runs.
+
     Soundness is enforced, not assumed: every start requested by a policy is
-    checked against the capacity profile, and the finished trace converts to
-    an [Instance.t]/[Schedule.t] pair that [Schedule.validate] accepts
-    (tested).
+    checked against the capacity timeline (must be queued, not already
+    started this decision, and fit its whole window), and the finished trace
+    converts to an [Instance.t]/[Schedule.t] pair that [Schedule.validate]
+    accepts (tested).
 
     {2 Observability}
 

@@ -1,0 +1,43 @@
+open Resa_core
+
+type t = { tl : Timeline.t; mutable now : int }
+
+let make tl = { tl; now = 0 }
+let set_now v t = v.now <- t
+let now v = v.now
+let value_at v x = Timeline.value_at v.tl x
+let min_on v ~lo ~hi = Timeline.min_on v.tl ~lo ~hi
+let earliest_fit v ~from ~dur ~need = Timeline.earliest_fit v.tl ~from ~dur ~need
+let fits v ~at ~dur ~need = Timeline.min_on v.tl ~lo:at ~hi:(at + dur) >= need
+let reserve v ~start ~dur ~need = Timeline.reserve v.tl ~start ~dur ~need
+let change v ~lo ~hi ~delta = Timeline.change v.tl ~lo ~hi ~delta
+
+type mark = Timeline.mark
+
+let checkpoint v = Timeline.checkpoint v.tl
+let rollback v m = Timeline.rollback v.tl m
+let commit v m = Timeline.commit v.tl m
+
+let speculate v f =
+  let m = checkpoint v in
+  match f () with
+  | x ->
+    rollback v m;
+    x
+  | exception e ->
+    rollback v m;
+    raise e
+
+(* Forward profile by breakpoint iteration: O(k log U) for the k breakpoints
+   at or after [now], versus the full materialised-tree walk of
+   [Timeline.to_profile] whose cost grows with the whole run's history.
+   Collapsing the past to the value at [now] makes the result identical to
+   [Timeline.to_profile ~from:(now v)]. *)
+let snapshot v =
+  let tl = v.tl in
+  let rec go acc x =
+    match Timeline.next_breakpoint_after tl x with
+    | None -> List.rev acc
+    | Some b -> go ((b, Timeline.value_at tl b) :: acc) b
+  in
+  Profile.of_steps ((0, Timeline.value_at tl v.now) :: go [] v.now)

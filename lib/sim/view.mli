@@ -1,0 +1,71 @@
+(** Read/speculate access to the simulator's live capacity timeline.
+
+    A view is what a {!Policy.t} sees instead of a rebuilt persistent
+    profile: a thin window onto the single mutable {!Resa_core.Timeline.t}
+    that the simulator maintains across the whole run. Queries
+    ([value_at]/[min_on]/[earliest_fit]/[fits]) cost O(log U) against the
+    live tree — no per-event materialisation — and mutations
+    ([reserve]/[change]) are {e speculative}: the simulator opens a
+    checkpoint around every [decide] call and rolls it back afterwards, so
+    a policy may freely reserve trial windows while reasoning and return
+    only the jobs to start; the authoritative reservations are applied by
+    the simulator itself.
+
+    Policies must not inspect instants before {!now} (the current decision
+    time): unlike the old collapsed forward profile, the live timeline
+    carries real history there.
+
+    Nested speculation inside a decision uses {!checkpoint} /
+    {!rollback} / {!commit} directly (strictly LIFO, delegating to
+    {!Resa_core.Timeline}), or the bracketed {!speculate}. [commit] keeps a
+    trial relative to the enclosing scope — the simulator's outer rollback
+    still retracts it after the decision.
+
+    {!snapshot} exports the forward profile from [now] — exactly what
+    policies used to receive — in O(k · log U) for k forward breakpoints,
+    by walking [next_breakpoint_after]. It exists for the Profile-based
+    [*_reference] oracle policies and for tracing/diagnostic code; the
+    timeline-native policies never call it. *)
+
+open Resa_core
+
+type t
+
+val make : Timeline.t -> t
+(** Wrap a timeline. The timeline stays owned by the caller (the
+    simulator), which advances the decision instant with [set_now]. *)
+
+val set_now : t -> int -> unit
+(** Simulator-side: set the current decision instant. *)
+
+val now : t -> int
+(** The current decision instant. *)
+
+val value_at : t -> int -> int
+val min_on : t -> lo:int -> hi:int -> int
+val earliest_fit : t -> from:int -> dur:int -> need:int -> int option
+
+val fits : t -> at:int -> dur:int -> need:int -> bool
+(** [fits v ~at ~dur ~need] iff the whole window [\[at, at+dur)] has
+    capacity [need]. *)
+
+val reserve : t -> start:int -> dur:int -> need:int -> unit
+(** Speculatively subtract capacity (checked, like [Timeline.reserve]).
+    Retracted by the simulator's post-decision rollback. *)
+
+val change : t -> lo:int -> hi:int -> delta:int -> unit
+(** Unchecked speculative range-add. *)
+
+type mark
+
+val checkpoint : t -> mark
+val rollback : t -> mark -> unit
+val commit : t -> mark -> unit
+
+val speculate : t -> (unit -> 'a) -> 'a
+(** [speculate v f] runs [f] under a fresh checkpoint and always rolls it
+    back (also on exceptions): pure what-if evaluation. *)
+
+val snapshot : t -> Profile.t
+(** The forward capacity profile from [now]: constant at [value_at (now v)]
+    on the collapsed past, exact afterwards. *)

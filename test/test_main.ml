@@ -22,6 +22,7 @@ let () =
       ("anomaly", Test_anomaly.suite);
       ("generators", Test_gen.suite);
       ("simulator", Test_sim.suite);
+      ("policy-diff", Test_policy_diff.suite);
       ("swf", Test_swf.suite);
       ("stats", Test_stats.suite);
       ("par", Test_par.suite);

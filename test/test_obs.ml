@@ -19,10 +19,12 @@ let workload ?(seed = 77) ?(n = 25) ?(m = 8) () =
   in
   (subs, Array.to_list (Instance.reservations inst))
 
-(* Serialise a traced run to its canonical JSONL text (run-tagged). *)
-let event_stream ~policy_of ~name ~m ~reservations subs =
+(* Serialise a traced run to its canonical JSONL text (run-tagged). The
+   simulator hands its tracer to the policy's [create], so policy events
+   land in the same sink without extra plumbing. *)
+let event_stream ~policy ~name ~m ~reservations subs =
   let obs = Trace.buffer () in
-  let trace = Simulator.run ~obs ~policy:(policy_of ~obs) ~m ~reservations subs in
+  let trace = Simulator.run ~obs ~policy ~m ~reservations subs in
   let text =
     String.concat "\n" (List.map (Trace.to_json ~run:name) (Trace.contents obs))
   in
@@ -130,10 +132,10 @@ let test_provenance_strings () =
 let test_tracing_off_identical () =
   let subs, reservations = workload () in
   List.iter
-    (fun (name, make) ->
-      let plain = Simulator.run ~policy:(make ~obs:Trace.null) ~m:8 ~reservations subs in
+    (fun (name, policy) ->
+      let plain = Simulator.run ~policy ~m:8 ~reservations subs in
       let obs = Trace.buffer () in
-      let traced = Simulator.run ~obs ~policy:(make ~obs) ~m:8 ~reservations subs in
+      let traced = Simulator.run ~obs ~policy ~m:8 ~reservations subs in
       let starts (t : Simulator.trace) =
         List.map (fun (r : Simulator.record) -> r.start) t.records
       in
@@ -149,10 +151,10 @@ let test_tracing_off_identical () =
       | Error v -> Alcotest.failf "%s: infeasible: %a" name Schedule.pp_violation v);
       Alcotest.(check bool) (name ^ ": events collected") true (Trace.contents obs <> []))
     [
-      ("FCFS", fun ~obs -> Policy.fcfs ~obs ());
-      ("CONS", fun ~obs -> Policy.conservative ~obs ());
-      ("EASY", fun ~obs -> Policy.easy ~obs ());
-      ("LSRC", fun ~obs -> Policy.aggressive ~obs ());
+      ("FCFS", Policy.fcfs);
+      ("CONS", Policy.conservative);
+      ("EASY", Policy.easy);
+      ("LSRC", Policy.aggressive);
     ]
 
 (* --- deterministic event streams across pool sizes ----------------------- *)
@@ -161,16 +163,15 @@ let test_deterministic_across_domains () =
   let subs, reservations = workload ~n:30 () in
   let policies =
     [
-      ("FCFS", fun ~obs -> Policy.fcfs ~obs ());
-      ("CONS", fun ~obs -> Policy.conservative ~obs ());
-      ("EASY", fun ~obs -> Policy.easy ~obs ());
-      ("LSRC", fun ~obs -> Policy.aggressive ~obs ());
+      ("FCFS", Policy.fcfs);
+      ("CONS", Policy.conservative);
+      ("EASY", Policy.easy);
+      ("LSRC", Policy.aggressive);
     ]
   in
   let streams () =
     Resa_par.parallel_map_list
-      (fun (name, make) ->
-        snd (event_stream ~policy_of:make ~name ~m:8 ~reservations subs))
+      (fun (name, policy) -> snd (event_stream ~policy ~name ~m:8 ~reservations subs))
       policies
   in
   let s1 = Resa_par.with_domains 1 streams in
@@ -199,7 +200,7 @@ let test_backfill_provenance () =
     ]
   in
   let obs = Trace.buffer () in
-  let _ = Simulator.run ~obs ~policy:(Policy.easy ~obs ()) ~m:4 subs in
+  let _ = Simulator.run ~obs ~policy:Policy.easy ~m:4 subs in
   (match start_event_of obs 2 with
   | Some (0, 0, Trace.Backfilled_ahead_of_head) -> ()
   | Some (t, w, p) ->
@@ -229,7 +230,7 @@ let test_reservation_blocked_provenance () =
   let resv = [ Reservation.make ~id:0 ~start:0 ~p:5 ~q:4 ] in
   let subs = [ Simulator.{ job = Job.make ~id:0 ~p:3 ~q:2; submit = 0 } ] in
   let obs = Trace.buffer () in
-  let _ = Simulator.run ~obs ~policy:(Policy.fcfs ~obs ()) ~m:4 ~reservations:resv subs in
+  let _ = Simulator.run ~obs ~policy:Policy.fcfs ~m:4 ~reservations:resv subs in
   let reasons =
     List.filter_map
       (function Trace.Head_blocked { reason; _ } -> Some reason | _ -> None)
@@ -262,7 +263,7 @@ let test_book_emits_admission_events () =
 let test_chrome_export_wellformed () =
   let subs, reservations = workload ~n:12 () in
   let obs = Trace.buffer () in
-  let trace = Simulator.run ~obs ~policy:(Policy.easy ~obs ()) ~m:8 ~reservations subs in
+  let trace = Simulator.run ~obs ~policy:Policy.easy ~m:8 ~reservations subs in
   let slices = Sim_trace.chrome_slices ~process:"EASY" trace in
   Alcotest.(check bool) "has slices" true (slices <> []);
   let doc = Resa_obs.Chrome.to_string slices in
@@ -304,7 +305,7 @@ let test_chrome_of_spans_tracks () =
 let test_per_job_and_csv () =
   let subs, reservations = workload ~n:15 () in
   let obs = Trace.buffer () in
-  let trace = Simulator.run ~obs ~policy:(Policy.easy ~obs ()) ~m:8 ~reservations subs in
+  let trace = Simulator.run ~obs ~policy:Policy.easy ~m:8 ~reservations subs in
   let provs = Trace.start_provenances (Trace.contents obs) in
   let provenance id =
     match List.assoc_opt id provs with
@@ -337,7 +338,7 @@ let test_per_job_and_csv () =
     lines
 
 let test_empty_summary_is_explicit () =
-  let trace = Simulator.run ~policy:(Policy.fcfs ()) ~m:2 [] in
+  let trace = Simulator.run ~policy:Policy.fcfs ~m:2 [] in
   let s = Metrics.summarize trace in
   Alcotest.(check int) "n" 0 s.Metrics.n;
   Alcotest.(check bool) "utilization is nan" true (Float.is_nan s.Metrics.utilization);
@@ -355,7 +356,7 @@ let test_policy_error_messages () =
     Policy.
       {
         name = "ROGUE";
-        decide = (fun ~time:_ ~queue ~free:_ -> { start_now = queue; wake = None });
+        create = (fun ~obs:_ ~time:_ ~queue ~free:_ -> { start_now = queue; wake = None });
       }
   in
   let subs =
@@ -376,8 +377,8 @@ let test_policy_error_messages () =
     Policy.
       {
         name = "PHANTOM";
-        decide =
-          (fun ~time:_ ~queue:_ ~free:_ ->
+        create =
+          (fun ~obs:_ ~time:_ ~queue:_ ~free:_ ->
             { start_now = [ Job.make ~id:99 ~p:1 ~q:1 ]; wake = None });
       }
   in
@@ -405,6 +406,13 @@ let test_prof_counters () =
       Alcotest.(check bool) "lsrc instants counted" true (find "lsrc.decision_instants" > 0);
       Alcotest.(check int) "all jobs placed" 20 (find "lsrc.jobs_placed");
       Alcotest.(check bool) "timeline ops counted" true (find "timeline.min_on" > 0);
+      (* The simulator opens one speculation scope per decision; every
+         checkpoint must be paired with a rollback. *)
+      let subs, reservations = workload ~n:10 () in
+      ignore (Simulator.run ~policy:Policy.easy ~m:8 ~reservations subs);
+      Alcotest.(check bool) "checkpoints counted" true (find "timeline.checkpoint" > 0);
+      Alcotest.(check int) "checkpoints all resolved" (find "timeline.checkpoint")
+        (find "timeline.rollback" + find "timeline.commit");
       Alcotest.(check bool) "spans recorded" true
         (List.exists (fun s -> s.Prof.name = "lsrc.run_order") (Prof.spans ()));
       Prof.reset ();
@@ -426,9 +434,8 @@ let test_explain_render () =
   let text =
     String.concat "\n"
       (List.map
-         (fun (name, make) ->
-           snd (event_stream ~policy_of:make ~name ~m:8 ~reservations subs))
-         [ ("FCFS", fun ~obs -> Policy.fcfs ~obs ()); ("EASY", fun ~obs -> Policy.easy ~obs ()) ])
+         (fun (name, policy) -> snd (event_stream ~policy ~name ~m:8 ~reservations subs))
+         [ ("FCFS", Policy.fcfs); ("EASY", Policy.easy) ])
   in
   let events =
     List.map

@@ -74,7 +74,7 @@ let test_aggressive_equals_offline_lsrc () =
   for _ = 1 to 10 do
     let inst = Resa_gen.Random_inst.alpha_restricted rng ~m:8 ~n:10 ~alpha:0.5 ~pmax:6 () in
     let trace =
-      Simulator.run ~policy:(Policy.aggressive ()) ~m:8
+      Simulator.run ~policy:Policy.aggressive ~m:8
         ~reservations:(Array.to_list (Instance.reservations inst))
         (submit_all_at inst 0)
     in
@@ -89,7 +89,7 @@ let test_fcfs_policy_order () =
   (* FCFS online: narrow job behind wide head must wait. *)
   let jobs = [ (2, 3); (2, 2); (2, 1) ] in
   let inst = Instance.of_sizes ~m:4 jobs in
-  let trace = Simulator.run ~policy:(Policy.fcfs ()) ~m:4 (submit_all_at inst 0) in
+  let trace = Simulator.run ~policy:Policy.fcfs ~m:4 (submit_all_at inst 0) in
   let starts = List.map (fun (r : Simulator.record) -> r.start) trace.records in
   Alcotest.(check (list int)) "strict order" [ 0; 2; 2 ] starts
 
@@ -109,7 +109,7 @@ let test_arrival_order_respected () =
           if r.start < r.submit then
             Alcotest.failf "%s started a job before submission" policy.Policy.name)
         trace.records)
-    (Policy.all ())
+    Policy.all
 
 let test_policies_feasible_with_reservations () =
   let rng = Prng.create ~seed:32 in
@@ -131,7 +131,7 @@ let test_policies_feasible_with_reservations () =
       | Error v ->
         Alcotest.failf "%s produced an infeasible execution: %a" policy.Policy.name
           Schedule.pp_violation v)
-    (Policy.all ())
+    Policy.all
 
 let test_conservative_policy_plans_hold () =
   (* Deterministic example: plans must not shift when later jobs arrive. *)
@@ -142,7 +142,7 @@ let test_conservative_policy_plans_hold () =
       Simulator.{ job = Job.make ~id:2 ~p:1 ~q:1; submit = 2 };
     ]
   in
-  let trace = Simulator.run ~policy:(Policy.conservative ()) ~m:4 subs in
+  let trace = Simulator.run ~policy:Policy.conservative ~m:4 subs in
   let starts = List.map (fun (r : Simulator.record) -> r.start) trace.records in
   (* j1 planned at 4; j2 (narrow, short) backfills nowhere before 4 on a full
      machine, so it lands at 8. *)
@@ -156,7 +156,7 @@ let test_easy_policy_backfills () =
       Simulator.{ job = Job.make ~id:2 ~p:4 ~q:1; submit = 0 };
     ]
   in
-  let trace = Simulator.run ~policy:(Policy.easy ()) ~m:4 subs in
+  let trace = Simulator.run ~policy:Policy.easy ~m:4 subs in
   let starts = List.map (fun (r : Simulator.record) -> r.start) trace.records in
   (* j2 ends exactly at the head's guaranteed start (4): allowed. *)
   Alcotest.(check (list int)) "backfilled" [ 0; 4; 0 ] starts
@@ -166,8 +166,8 @@ let test_policy_error_on_rogue_policy () =
     Policy.
       {
         name = "ROGUE";
-        decide =
-          (fun ~time:_ ~queue ~free:_ ->
+        create =
+          (fun ~obs:_ ~time:_ ~queue ~free:_ ->
             (* Start everything unconditionally: must violate capacity. *)
             { start_now = queue; wake = None });
       }
@@ -184,7 +184,7 @@ let test_policy_error_on_rogue_policy () =
 
 let test_simulator_rejects_bad_input () =
   let subs = [ Simulator.{ job = Job.make ~id:0 ~p:1 ~q:5 ; submit = 0 } ] in
-  match Simulator.run ~policy:(Policy.fcfs ()) ~m:2 subs with
+  match Simulator.run ~policy:Policy.fcfs ~m:2 subs with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "oversized job accepted"
 
@@ -208,7 +208,7 @@ let prop_all_policies_sound =
           let oi, os = Simulator.to_offline trace in
           Schedule.is_feasible oi os
           && List.for_all (fun (r : Simulator.record) -> r.start >= r.submit) trace.records)
-        (Policy.all ()))
+        Policy.all)
 
 (* --- metrics --- *)
 
@@ -219,7 +219,7 @@ let test_metrics_values () =
       Simulator.{ job = Job.make ~id:1 ~p:2 ~q:2; submit = 0 };
     ]
   in
-  let trace = Simulator.run ~policy:(Policy.fcfs ()) ~m:2 subs in
+  let trace = Simulator.run ~policy:Policy.fcfs ~m:2 subs in
   let s = Metrics.summarize trace in
   Alcotest.(check int) "n" 2 s.n;
   Alcotest.(check int) "makespan" 6 s.makespan;
@@ -232,7 +232,7 @@ let test_metrics_values () =
   Alcotest.(check (float 1e-9)) "utilization" 1.0 s.utilization
 
 let test_metrics_empty () =
-  let trace = Simulator.run ~policy:(Policy.fcfs ()) ~m:2 [] in
+  let trace = Simulator.run ~policy:Policy.fcfs ~m:2 [] in
   let s = Metrics.summarize trace in
   Alcotest.(check int) "empty" 0 s.n
 
@@ -244,7 +244,7 @@ let test_bounded_slowdown_bound () =
       Simulator.{ job = Job.make ~id:1 ~p:1 ~q:2; submit = 0 };
     ]
   in
-  let trace = Simulator.run ~policy:(Policy.fcfs ()) ~m:2 subs in
+  let trace = Simulator.run ~policy:Policy.fcfs ~m:2 subs in
   let s = Metrics.summarize ~bound:10 trace in
   Alcotest.(check bool) "raw slowdown explodes" true (s.mean_slowdown > 50.0);
   Alcotest.(check bool) "bounded slowdown tamed" true (s.mean_bounded_slowdown < 10.0)
@@ -302,9 +302,11 @@ let test_estimated_equals_exact_when_accurate () =
   let subs = submit_all_at inst 0 in
   let estimates = Array.init 12 (fun i -> Job.p (Instance.job inst i)) in
   List.iter
-    (fun make_policy ->
-      let a = Simulator.run ~policy:(make_policy ()) ~m:8 subs in
-      let b = Simulator.run_estimated ~policy:(make_policy ()) ~m:8 ~estimates subs in
+    (fun policy ->
+      (* Reusing one policy value across runs must be safe: [create] scopes
+         the planning state per run. *)
+      let a = Simulator.run ~policy ~m:8 subs in
+      let b = Simulator.run_estimated ~policy ~m:8 ~estimates subs in
       List.iter2
         (fun (ra : Simulator.record) (rb : Simulator.record) ->
           Alcotest.(check int) "same start" ra.start rb.start)
@@ -321,7 +323,7 @@ let test_early_release_unblocks_follower () =
     ]
   in
   let trace =
-    Simulator.run_estimated ~policy:(Policy.fcfs ()) ~m:2 ~estimates:[| 10; 3 |] subs
+    Simulator.run_estimated ~policy:Policy.fcfs ~m:2 ~estimates:[| 10; 3 |] subs
   in
   let starts = List.map (fun (r : Simulator.record) -> r.start) trace.records in
   Alcotest.(check (list int)) "follower starts at the actual completion" [ 0; 2 ] starts
@@ -330,10 +332,10 @@ let test_estimates_validated () =
   let subs = [ Simulator.{ job = Job.make ~id:0 ~p:5 ~q:1; submit = 0 } ] in
   Alcotest.check_raises "estimate below runtime"
     (Invalid_argument "Simulator.run_estimated: estimate below the actual runtime") (fun () ->
-      ignore (Simulator.run_estimated ~policy:(Policy.fcfs ()) ~m:2 ~estimates:[| 3 |] subs));
+      ignore (Simulator.run_estimated ~policy:Policy.fcfs ~m:2 ~estimates:[| 3 |] subs));
   Alcotest.check_raises "wrong length"
     (Invalid_argument "Simulator.run_estimated: estimates length mismatch") (fun () ->
-      ignore (Simulator.run_estimated ~policy:(Policy.fcfs ()) ~m:2 ~estimates:[| 5; 5 |] subs))
+      ignore (Simulator.run_estimated ~policy:Policy.fcfs ~m:2 ~estimates:[| 5; 5 |] subs))
 
 let prop_estimated_executions_feasible =
   Tutil.qcheck ~count:60 "all policies stay feasible under overestimates"
@@ -356,7 +358,7 @@ let prop_estimated_executions_feasible =
           let oi, os = Simulator.to_offline trace in
           Schedule.is_feasible oi os
           && List.for_all (fun (r : Simulator.record) -> r.start >= r.submit) trace.records)
-        (Policy.all ()))
+        Policy.all)
 
 let suite =
   [

@@ -105,7 +105,7 @@ let test_generated_trace_drives_simulator () =
       (fun (job, submit) -> Resa_sim.Simulator.{ job; submit })
       (Swf.to_workload entries ~m:16)
   in
-  let trace = Resa_sim.Simulator.run ~policy:(Resa_sim.Policy.easy ()) ~m:16 subs in
+  let trace = Resa_sim.Simulator.run ~policy:Resa_sim.Policy.easy ~m:16 subs in
   let inst, sched = Resa_sim.Simulator.to_offline trace in
   Tutil.check_feasible "SWF-driven simulation" inst sched
 

@@ -66,6 +66,102 @@ let test_forward_view () =
   let fwd = Timeline.to_profile ~from:3 tl in
   Alcotest.check steps "past collapsed" [ (0, 1); (5, 6) ] (Profile.to_steps fwd)
 
+(* --- speculation: checkpoint / rollback / commit ------------------------ *)
+
+let test_checkpoint_rollback () =
+  let tl = Timeline.of_profile (Profile.of_steps [ (0, 6); (4, 2); (9, 6) ]) in
+  let before = Timeline.to_profile tl in
+  let m = Timeline.checkpoint tl in
+  Timeline.reserve tl ~start:0 ~dur:3 ~need:4;
+  Timeline.change tl ~lo:10 ~hi:20 ~delta:(-5);
+  (* Queries see the speculative state... *)
+  Alcotest.(check int) "speculative value" 2 (Timeline.value_at tl 1);
+  Alcotest.(check int) "speculative far value" 1 (Timeline.value_at tl 12);
+  Timeline.rollback tl m;
+  (* ...and rollback is exact. *)
+  Alcotest.(check bool) "identity after rollback" true
+    (Profile.equal before (Timeline.to_profile tl))
+
+let test_rollback_after_growth () =
+  (* Speculative writes far past the current horizon force root doubling;
+     rollback must restore values even though the tree keeps its new size. *)
+  let tl = Timeline.create 5 in
+  Timeline.change tl ~lo:0 ~hi:4 ~delta:(-1);
+  let m = Timeline.checkpoint tl in
+  Timeline.change tl ~lo:100_000 ~hi:200_000 ~delta:(-3);
+  Alcotest.(check int) "speculative far write" 2 (Timeline.value_at tl 150_000);
+  Timeline.rollback tl m;
+  Alcotest.(check int) "tail restored" 5 (Timeline.value_at tl 150_000);
+  Alcotest.(check int) "near values intact" 4 (Timeline.value_at tl 2)
+
+let test_nested_speculation () =
+  let tl = Timeline.create 8 in
+  let outer = Timeline.checkpoint tl in
+  Timeline.change tl ~lo:0 ~hi:10 ~delta:(-1);
+  let inner = Timeline.checkpoint tl in
+  Timeline.change tl ~lo:0 ~hi:10 ~delta:(-2);
+  Timeline.rollback tl inner;
+  (* Inner rollback keeps the outer trial. *)
+  Alcotest.(check int) "outer trial survives" 7 (Timeline.value_at tl 5);
+  let inner2 = Timeline.checkpoint tl in
+  Timeline.change tl ~lo:0 ~hi:10 ~delta:(-4);
+  Timeline.commit tl inner2;
+  (* Commit folds into the enclosing scope... *)
+  Alcotest.(check int) "committed trial kept" 3 (Timeline.value_at tl 5);
+  Timeline.rollback tl outer;
+  (* ...so the outer rollback still retracts it. *)
+  Alcotest.(check int) "outer rollback undoes all" 8 (Timeline.value_at tl 5)
+
+let test_stale_marks_rejected () =
+  let tl = Timeline.create 4 in
+  let m = Timeline.checkpoint tl in
+  Timeline.change tl ~lo:0 ~hi:5 ~delta:(-1);
+  Timeline.rollback tl m;
+  Alcotest.check_raises "mark reused after rollback"
+    (Invalid_argument "Timeline.commit: stale or non-LIFO mark") (fun () ->
+      Timeline.commit tl m);
+  Alcotest.check_raises "double rollback"
+    (Invalid_argument "Timeline.rollback: stale or non-LIFO mark") (fun () ->
+      Timeline.rollback tl m)
+
+(* Randomized: arbitrary mutations under arbitrarily nested speculation
+   (inner scopes randomly rolled back or committed) — rolling back the
+   outermost checkpoint must be a perfect identity w.r.t. the rebuilt
+   profile. *)
+let speculation_identity seed =
+  let rng = Prng.create ~seed in
+  let tl = Timeline.of_profile (Tutil.profile_of_seed seed) in
+  let reference = Timeline.to_profile tl in
+  let mutate () =
+    if Prng.int rng ~bound:2 = 0 then begin
+      let lo = Prng.int rng ~bound:60 and len = Prng.int_incl rng ~lo:1 ~hi:25 in
+      Timeline.change tl ~lo ~hi:(lo + len) ~delta:(Prng.int_incl rng ~lo:(-5) ~hi:5)
+    end
+    else begin
+      let start = Prng.int rng ~bound:50 and dur = Prng.int_incl rng ~lo:1 ~hi:12 in
+      let mn = Timeline.min_on tl ~lo:start ~hi:(start + dur) in
+      if mn >= 1 then Timeline.reserve tl ~start ~dur ~need:(Prng.int_incl rng ~lo:1 ~hi:mn)
+    end
+  in
+  let rec churn depth =
+    for _ = 1 to 6 do
+      match Prng.int rng ~bound:3 with
+      | 1 when depth < 3 ->
+        let m = Timeline.checkpoint tl in
+        churn (depth + 1);
+        Timeline.rollback tl m
+      | 2 when depth < 3 ->
+        let m = Timeline.checkpoint tl in
+        churn (depth + 1);
+        Timeline.commit tl m
+      | _ -> mutate ()
+    done
+  in
+  let m0 = Timeline.checkpoint tl in
+  churn 0;
+  Timeline.rollback tl m0;
+  Profile.equal reference (Timeline.to_profile tl)
+
 (* --- randomized differential: operation sequences ----------------------- *)
 
 let ops_agree seed =
@@ -172,6 +268,12 @@ let suite =
     Alcotest.test_case "empty windows" `Quick test_empty_window;
     Alcotest.test_case "earliest fit" `Quick test_earliest_fit;
     Alcotest.test_case "forward view" `Quick test_forward_view;
+    Alcotest.test_case "checkpoint/rollback identity" `Quick test_checkpoint_rollback;
+    Alcotest.test_case "rollback across tree growth" `Quick test_rollback_after_growth;
+    Alcotest.test_case "nested speculation" `Quick test_nested_speculation;
+    Alcotest.test_case "stale marks rejected" `Quick test_stale_marks_rejected;
+    Tutil.qcheck ~count:500 "nested speculation rolls back to identity" Tutil.seed_arb
+      speculation_identity;
     Tutil.qcheck ~count:1000 "random op sequences match Profile" Tutil.seed_arb ops_agree;
     Tutil.qcheck ~count:300 "LSRC = Profile-backed LSRC" Tutil.seed_arb
       (same_schedule "lsrc" Resa_algos.Lsrc.run_order Resa_algos.Lsrc.run_order_reference);
