@@ -28,6 +28,7 @@ let registry =
     ("perf", Perf.run);
     ("scaling", Perf.scaling);
     ("sim", Perf.sim_scaling);
+    ("bnb", Bnb_bench.run);
   ]
 
 let usage () =
@@ -64,7 +65,7 @@ let () =
     let phases =
       [
         "fig1"; "fig2"; "fig3"; "fig4"; "t1"; "t2"; "t3"; "t4"; "t5"; "ablation"; "perf";
-        "sim";
+        "sim"; "bnb";
       ]
     in
     let records =

@@ -98,32 +98,41 @@ let is_greedy inst sched =
   | Error _ -> false
   | Ok () ->
     let n = Schedule.n_jobs sched in
-    let avail = Instance.availability inst in
-    (* Free capacity seen by the scheduler at decision time [t]: availability
-       minus the windows of jobs started at or before [t]. Jobs started later
-       do not count — they were pending then. *)
-    let free_at t =
-      let deltas = ref [] in
-      for i = 0 to n - 1 do
+    (* Free capacity seen by the scheduler at decision time [t] is the
+       availability minus the windows of jobs started at or before [t] —
+       jobs started later do not count, they were pending then. Decision
+       times are ascending, so one shared timeline swept forward (each
+       job's window subtracted exactly once, when the sweep first reaches
+       its start) replaces the per-instant profile rebuild over all [n]
+       jobs that used to make this check quadratic. The subtracted jobs at
+       any prefix use at most what the full (validated) schedule uses, so
+       the timeline stays a correct free-capacity function throughout. *)
+    let free = Timeline.of_profile (Instance.availability inst) in
+    let by_start = Array.init n Fun.id in
+    Array.sort (fun a b -> compare (Schedule.start sched a) (Schedule.start sched b)) by_start;
+    let next = ref 0 in
+    let advance_to t =
+      while
+        !next < n && Schedule.start sched by_start.(!next) <= t
+      do
+        let i = by_start.(!next) in
         let s = Schedule.start sched i in
-        if s <= t then begin
-          let j = Instance.job inst i in
-          deltas := (s, Job.q j) :: (s + Job.p j, -Job.q j) :: !deltas
-        end
-      done;
-      Profile.sub avail (Profile.of_events ~base:0 !deltas)
+        let j = Instance.job inst i in
+        Timeline.change free ~lo:s ~hi:(s + Job.p j) ~delta:(-Job.q j);
+        incr next
+      done
     in
     (* Maximality: at every decision time, no job that was still pending
        could have had its whole window inserted. *)
     List.for_all
       (fun t ->
-        let free = free_at t in
+        advance_to t;
         let rec jobs_ok i =
           i >= n
           ||
           let s = Schedule.start sched i in
           let j = Instance.job inst i in
-          (s <= t || Profile.min_on free ~lo:t ~hi:(t + Job.p j) < Job.q j)
+          (s <= t || Timeline.min_on free ~lo:t ~hi:(t + Job.p j) < Job.q j)
           && jobs_ok (i + 1)
         in
         jobs_ok 0)

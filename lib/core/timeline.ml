@@ -21,6 +21,7 @@ type t = {
   mutable mn : int array;
   mutable mx : int array;
   mutable ad : int array;
+  mutable sm : int array; (* sum of values over the node's whole range *)
   mutable n_nodes : int;
   (* Undo log: packed (lo, hi, delta) triples of every [change] applied while
      at least one checkpoint is outstanding. Rollback replays inverses from
@@ -33,7 +34,10 @@ type t = {
 
 type mark = int
 
-let new_node t v =
+(* [w] is the width of the range the node covers: uniform nodes carry
+   sum = value · width so the sum aggregate stays exact without storing
+   widths (a node's width is implied by its depth). *)
+let new_node t v w =
   let id = t.n_nodes in
   if id = Array.length t.mn then begin
     let cap = 2 * Array.length t.mn in
@@ -46,7 +50,8 @@ let new_node t v =
     t.rc <- grow t.rc;
     t.mn <- grow t.mn;
     t.mx <- grow t.mx;
-    t.ad <- grow t.ad
+    t.ad <- grow t.ad;
+    t.sm <- grow t.sm
   end;
   t.n_nodes <- id + 1;
   t.lc.(id) <- 0;
@@ -54,6 +59,7 @@ let new_node t v =
   t.mn.(id) <- v;
   t.mx.(id) <- v;
   t.ad.(id) <- 0;
+  t.sm.(id) <- v * w;
   id
 
 let create c =
@@ -68,56 +74,62 @@ let create c =
       mn = Array.make 64 0;
       mx = Array.make 64 0;
       ad = Array.make 64 0;
+      sm = Array.make 64 0;
       n_nodes = 1;
       ulog = [||];
       ulog_len = 0;
       specs = 0;
     }
   in
-  t.root <- new_node t c;
+  t.root <- new_node t c 1;
   t
 
-let apply_add t v d =
+(* [w] is the width of node [v]'s range. *)
+let apply_add t v d w =
   t.mn.(v) <- t.mn.(v) + d;
   t.mx.(v) <- t.mx.(v) + d;
-  t.ad.(v) <- t.ad.(v) + d
+  t.ad.(v) <- t.ad.(v) + d;
+  t.sm.(v) <- t.sm.(v) + (d * w)
 
-let push t v =
+(* [w] is the width of node [v]'s range (children cover w/2 each). *)
+let push t v w =
   if t.lc.(v) = 0 then begin
     (* Uniform region: materialise children at its value; the pending add is
        already folded into mn. *)
     let u = t.mn.(v) in
-    t.lc.(v) <- new_node t u;
-    t.rc.(v) <- new_node t u;
+    t.lc.(v) <- new_node t u (w / 2);
+    t.rc.(v) <- new_node t u (w / 2);
     t.ad.(v) <- 0
   end
   else if t.ad.(v) <> 0 then begin
-    apply_add t t.lc.(v) t.ad.(v);
-    apply_add t t.rc.(v) t.ad.(v);
+    apply_add t t.lc.(v) t.ad.(v) (w / 2);
+    apply_add t t.rc.(v) t.ad.(v) (w / 2);
     t.ad.(v) <- 0
   end
 
 let pull t v =
   (* Only called right after [push], so ad.(v) = 0. *)
   t.mn.(v) <- min t.mn.(t.lc.(v)) t.mn.(t.rc.(v));
-  t.mx.(v) <- max t.mx.(t.lc.(v)) t.mx.(t.rc.(v))
+  t.mx.(v) <- max t.mx.(t.lc.(v)) t.mx.(t.rc.(v));
+  t.sm.(v) <- t.sm.(t.lc.(v)) + t.sm.(t.rc.(v))
 
 let ensure t hi =
   while hi > t.size do
-    let r = new_node t 0 in
-    let u = new_node t t.tail in
+    let r = new_node t 0 1 in
+    let u = new_node t t.tail t.size in
     t.lc.(r) <- t.root;
     t.rc.(r) <- u;
     t.mn.(r) <- min t.mn.(t.root) t.tail;
     t.mx.(r) <- max t.mx.(t.root) t.tail;
+    t.sm.(r) <- t.sm.(t.root) + t.sm.(u);
     t.root <- r;
     t.size <- 2 * t.size
   done
 
 let rec upd t v lo hi qlo qhi d =
-  if qlo <= lo && hi <= qhi then apply_add t v d
+  if qlo <= lo && hi <= qhi then apply_add t v d (hi - lo)
   else begin
-    push t v;
+    push t v (hi - lo);
     let mid = (lo + hi) / 2 in
     if qlo < mid then upd t t.lc.(v) lo mid qlo qhi d;
     if qhi > mid then upd t t.rc.(v) mid hi qlo qhi d;
@@ -128,18 +140,15 @@ let rec query t v lo hi qlo qhi ~want_min =
   if qlo <= lo && hi <= qhi then if want_min then t.mn.(v) else t.mx.(v)
   else if t.lc.(v) = 0 then t.mn.(v) (* uniform: mn = mx *)
   else begin
-    push t v;
+    push t v (hi - lo);
     let mid = (lo + hi) / 2 in
-    let l =
-      if qlo < mid then Some (query t t.lc.(v) lo mid qlo qhi ~want_min) else None
-    in
-    let r =
-      if qhi > mid then Some (query t t.rc.(v) mid hi qlo qhi ~want_min) else None
-    in
-    match (l, r) with
-    | Some a, Some b -> if want_min then min a b else max a b
-    | Some a, None | None, Some a -> a
-    | None, None -> assert false
+    if qhi <= mid then query t t.lc.(v) lo mid qlo qhi ~want_min
+    else if qlo >= mid then query t t.rc.(v) mid hi qlo qhi ~want_min
+    else begin
+      let a = query t t.lc.(v) lo mid qlo qhi ~want_min in
+      let b = query t t.rc.(v) mid hi qlo qhi ~want_min in
+      if want_min then min a b else max a b
+    end
   end
 
 (* Leftmost position in [qlo, qhi) whose value satisfies the descent's
@@ -148,7 +157,7 @@ let rec first t v lo hi qlo qhi ~keep =
   if qhi <= lo || hi <= qlo || not (keep t.mn.(v) t.mx.(v)) then -1
   else if t.lc.(v) = 0 then max lo qlo
   else begin
-    push t v;
+    push t v (hi - lo);
     let mid = (lo + hi) / 2 in
     let p = first t t.lc.(v) lo mid qlo qhi ~keep in
     if p >= 0 then p else first t t.rc.(v) mid hi qlo qhi ~keep
@@ -158,7 +167,7 @@ let rec last t v lo hi qlo qhi ~keep =
   if qhi <= lo || hi <= qlo || not (keep t.mn.(v) t.mx.(v)) then -1
   else if t.lc.(v) = 0 then min (hi - 1) (qhi - 1)
   else begin
-    push t v;
+    push t v (hi - lo);
     let mid = (lo + hi) / 2 in
     let p = last t t.rc.(v) mid hi qlo qhi ~keep in
     if p >= 0 then p else last t t.lc.(v) lo mid qlo qhi ~keep
@@ -182,7 +191,7 @@ let value_at t x =
     let rec go v lo hi =
       if t.lc.(v) = 0 then t.mn.(v)
       else begin
-        push t v;
+        push t v (hi - lo);
         let mid = (lo + hi) / 2 in
         if x < mid then go t.lc.(v) lo mid else go t.rc.(v) mid hi
       end
@@ -305,6 +314,71 @@ let last_breakpoint t =
   | -1 -> 0
   | p -> p + 1
 
+let final_value t = t.tail
+
+let iter_chunks_from t ~from ~f =
+  if from < 0 then invalid_arg "Timeline.iter_chunks_from: negative from";
+  let exception Stop in
+  let visit lo hi v = if not (f ~lo ~hi ~v) then raise Stop in
+  try
+    if from < t.size then begin
+      let rec go v lo hi =
+        if hi > from then
+          if t.lc.(v) = 0 then visit (max lo from) (Some hi) t.mn.(v)
+          else begin
+            push t v (hi - lo);
+            let mid = (lo + hi) / 2 in
+            go t.lc.(v) lo mid;
+            go t.rc.(v) mid hi
+          end
+      in
+      go t.root 0 t.size
+    end;
+    visit (max from t.size) None t.tail
+  with Stop -> ()
+
+let first_reaching_area t ~from ~area ~cap =
+  if from < 0 then invalid_arg "Timeline.first_reaching_area: negative from";
+  if area <= 0 then min from cap
+  else begin
+    (* One root-to-answer descent on the sum aggregate: a subtree of
+       non-negative values whose whole sum cannot complete the missing area
+       is consumed in O(1) (prefix sums within it stay below the target, so
+       the answer cannot sit inside); only subtrees on the accumulation
+       frontier are opened. Mixed-sign subtrees are walked to their leaves —
+       their prefix sums can overshoot the total — which keeps the result
+       exact for arbitrary timelines; capacity timelines are non-negative,
+       so the search stays O(log U) there. *)
+    let acc = ref 0 and found = ref (-1) in
+    let rec go v lo hi =
+      if !found < 0 && hi > from && lo < cap then begin
+        if t.lc.(v) = 0 then begin
+          let value = t.mn.(v) in
+          let lo' = if lo > from then lo else from in
+          let gained = value * (hi - lo') in
+          if value > 0 && !acc + gained >= area then
+            found := lo' + ((area - !acc + value - 1) / value)
+          else acc := !acc + gained
+        end
+        else if lo >= from && t.mn.(v) >= 0 && !acc + t.sm.(v) < area then
+          acc := !acc + t.sm.(v)
+        else begin
+          push t v (hi - lo);
+          let mid = (lo + hi) / 2 in
+          go t.lc.(v) lo mid;
+          go t.rc.(v) mid hi
+        end
+      end
+    in
+    if from < t.size then go t.root 0 t.size;
+    if !found >= 0 then min !found cap
+    else begin
+      let start = max from t.size in
+      if start >= cap || t.tail <= 0 then cap
+      else min cap (start + ((area - !acc + t.tail - 1) / t.tail))
+    end
+  end
+
 let to_profile ?(from = 0) t =
   if from < 0 then invalid_arg "Timeline.to_profile: negative from";
   let acc = ref [] in
@@ -319,7 +393,7 @@ let to_profile ?(from = 0) t =
       if hi > from then
         if t.lc.(v) = 0 then emit (max lo from) t.mn.(v)
         else begin
-          push t v;
+          push t v (hi - lo);
           let mid = (lo + hi) / 2 in
           go t.lc.(v) lo mid;
           go t.rc.(v) mid hi

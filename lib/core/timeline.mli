@@ -95,6 +95,30 @@ val rollback : t -> mark -> unit
 val commit : t -> mark -> unit
 (** Close the scope keeping all changes since the mark. *)
 
+val final_value : t -> int
+(** Value of the tail segment extending to infinity — O(1), same as
+    [Profile.final_value] on the normalized profile. Range changes are
+    confined to finite windows, so the tail never moves. *)
+
+val iter_chunks_from : t -> from:int -> f:(lo:int -> hi:int option -> v:int -> bool) -> unit
+(** Visit constant-value chunks covering [\[from, ∞)] in increasing order,
+    in one in-order tree traversal (amortized O(chunks + log U), versus one
+    O(log U) descent per segment when walking {!next_breakpoint_after}).
+    Chunks are tree leaves, not maximal runs: adjacent chunks may carry the
+    same value. The last callback gets [hi = None] (the tail). Return
+    [false] from [f] to stop early. The accumulating scans of the exact
+    solver's lower bounds are the intended consumer. *)
+
+val first_reaching_area : t -> from:int -> area:int -> cap:int -> int
+(** Smallest [C >= from] with [Σ_{x ∈ [from, C)} value(x) >= area], computed
+    in one descent on an internal sum aggregate (O(log U) on non-negative
+    timelines: a subtree whose total cannot complete the missing area is
+    consumed in O(1)). Interpolates inside positive-valued runs, exactly
+    like [Lower_bounds.min_time_with_area] on the matching profile. Returns
+    [min cap C]; [cap] both truncates the result and bounds the walk, and is
+    returned whenever the target is never reached (non-positive tail).
+    [area <= 0] yields [min from cap]. *)
+
 val next_breakpoint_after : t -> int -> int option
 (** Smallest instant [> t] where the value changes, if any — agrees with
     [Profile.next_breakpoint_after] on the normalized profile. *)

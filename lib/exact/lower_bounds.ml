@@ -26,6 +26,26 @@ let min_time_with_area profile ~from ~area =
     go from 0
   end
 
+let min_time_with_area_tl ?(cap = max_int) tl ~from ~area =
+  if area <= 0 then from
+  else begin
+    if Timeline.final_value tl <= 0 then
+      invalid_arg "Lower_bounds.min_time_with_area_tl: non-positive tail";
+    (* Same accumulation as the profile version, but one O(log U) descent on
+       the timeline's sum aggregate. Once the running answer passes [cap]
+       the caller's pruning test is already decided, so the walk stops and
+       reports [cap]. *)
+    Timeline.first_reaching_area tl ~from ~area ~cap
+  end
+
+let fit_bound_tl tl ~from jobs =
+  Array.fold_left
+    (fun bound j ->
+      match Timeline.earliest_fit tl ~from ~dur:(Job.p j) ~need:(Job.q j) with
+      | Some s -> max bound (s + Job.p j)
+      | None -> bound (* tail below need: unreachable for feasible jobs *))
+    from jobs
+
 let work_bound inst =
   let w = Instance.total_work inst in
   if w = 0 then 0 else min_time_with_area (Instance.availability inst) ~from:0 ~area:w

@@ -11,6 +11,21 @@ val min_time_with_area : Profile.t -> from:int -> area:int -> int
     non-negative with positive tail value when [area > 0]; a non-positive
     tail raises [Invalid_argument] regardless of where [from] sits. *)
 
+val min_time_with_area_tl : ?cap:int -> Timeline.t -> from:int -> area:int -> int
+(** Timeline-native twin of {!min_time_with_area}, queried against the live
+    capacity timeline of the speculative exact solver (one O(log U) descent
+    via [Timeline.first_reaching_area] instead of per-segment profile
+    searches). With [~cap], the scan stops as soon as the answer is known to
+    be [>= cap] and returns [cap] — callers prune on [result >= bound], so
+    passing [~cap:bound] never changes the outcome while bounding the walk.
+    Exact whenever the true answer is below [cap]. *)
+
+val fit_bound_tl : Timeline.t -> from:int -> Job.t array -> int
+(** Timeline-native generalisation of {!fit_bound} to a partial schedule:
+    each listed job alone must fit somewhere at or after [from] on the live
+    timeline, so no completion of the search node can beat the latest of
+    their earliest feasible window ends (never below [from]). *)
+
 val work_bound : Instance.t -> int
 (** Area argument (generalises [W/m] from Theorem 2 to reservations): the
     jobs need [W = Σ p·q] processor·time units out of the availability

@@ -15,6 +15,7 @@ let () =
       ("online", Test_online.suite);
       ("preemptive", Test_preemptive.suite);
       ("exact", Test_exact.suite);
+      ("bnb-diff", Test_bnb_diff.suite);
       ("single-machine", Test_single_machine.suite);
       ("graham", Test_graham.suite);
       ("ratio-bounds", Test_ratio_bounds.suite);

@@ -171,7 +171,7 @@ let ops_agree seed =
   let ok = ref true in
   let check name b = if not b then (Printf.eprintf "mismatch: %s (seed %d)\n" name seed; ok := false) in
   for _ = 1 to 40 do
-    match Prng.int rng ~bound:8 with
+    match Prng.int rng ~bound:10 with
     | 0 ->
       let lo = Prng.int rng ~bound:50 and len = Prng.int_incl rng ~lo:1 ~hi:20 in
       let delta = Prng.int_incl rng ~lo:(-4) ~hi:4 in
@@ -210,6 +210,36 @@ let ops_agree seed =
       check "next_breakpoint_after"
         (Profile.next_breakpoint_after !p x = Timeline.next_breakpoint_after tl x)
     | 6 -> check "last_breakpoint" (Profile.last_breakpoint !p = Timeline.last_breakpoint tl)
+    | 7 ->
+      check "final_value" (Profile.final_value !p = Timeline.final_value tl);
+      (* Chunks must tile [from, ∞) in order, carry the pointwise values of
+         the profile, and end with the tail (hi = None). *)
+      let from = Prng.int rng ~bound:60 in
+      let cursor = ref from and saw_tail = ref false in
+      Timeline.iter_chunks_from tl ~from ~f:(fun ~lo ~hi ~v ->
+          check "chunk contiguous" (lo = !cursor);
+          check "chunk value" (Profile.value_at !p lo = v);
+          (match hi with
+          | Some hi ->
+            check "chunk non-empty" (hi > lo);
+            check "chunk constant" (Profile.min_on !p ~lo ~hi = v && Profile.max_on !p ~lo ~hi = v);
+            cursor := hi
+          | None ->
+            check "tail value" (Profile.final_value !p = v);
+            saw_tail := true);
+          true);
+      check "tail visited" !saw_tail
+    | 8 ->
+      if Profile.final_value !p > 0 then begin
+        let from = Prng.int rng ~bound:60 in
+        let area = Prng.int_incl rng ~lo:1 ~hi:600 in
+        let expect = Resa_exact.Lower_bounds.min_time_with_area !p ~from ~area in
+        check "first_reaching_area (uncapped)"
+          (Timeline.first_reaching_area tl ~from ~area ~cap:max_int = expect);
+        let cap = Prng.int_incl rng ~lo:1 ~hi:120 in
+        check "first_reaching_area (capped)"
+          (Timeline.first_reaching_area tl ~from ~area ~cap = min cap expect)
+      end
     | _ ->
       let from = Prng.int rng ~bound:50 in
       let fwd = Timeline.to_profile ~from tl in
