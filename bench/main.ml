@@ -29,6 +29,9 @@ let registry =
     ("scaling", Perf.scaling);
     ("sim", Perf.sim_scaling);
     ("bnb", Bnb_bench.run);
+    (* Registry-only: replays up to 10M jobs per policy, so it is not in
+       the default phase list below. *)
+    ("replay", Replay_bench.run);
   ]
 
 let usage () =

@@ -22,6 +22,10 @@ let distinct_ids ids =
   in
   ok sorted
 
+let availability_of ~m ~reservations =
+  let unavail = build_unavail (Array.of_list reservations) in
+  Profile.add_const (Profile.neg unavail) m
+
 let create ~m ~jobs ~reservations =
   if m < 1 then Error "Instance.create: m must be >= 1"
   else if not (distinct_ids (List.map Job.id jobs)) then Error "Instance.create: duplicate job ids"

@@ -45,6 +45,13 @@ val availability : t -> Profile.t
     instance (profiles are persistent), so repeated calls return the same
     value without reallocating. *)
 
+val availability_of : m:int -> reservations:Reservation.t list -> Profile.t
+(** [m − U(t)] computed directly from a reservation list, without
+    constructing an instance — what streaming consumers (the replay engine,
+    incremental metrics) use when no job array ever exists. Agrees with
+    {!availability} on [create_exn ~m ~jobs:_ ~reservations]. Performs no
+    capacity validation. *)
+
 val total_work : t -> int
 (** [W(I) = Σ p_i·q_i] over jobs (reservations excluded). *)
 

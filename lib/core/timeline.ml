@@ -408,6 +408,51 @@ let to_profile ?(from = 0) t =
   in
   Profile.of_steps steps
 
+let node_count t = t.n_nodes
+
+let c_gc = Resa_obs.Prof.counter "timeline.gc"
+
+(* History garbage collection. The committed past of a capacity timeline
+   never changes (simulators only mutate and query windows at or after the
+   current instant), yet the tree keeps one materialised node chain per
+   historic segment forever — a 10M-job replay would grow the node arrays
+   without bound. [gc ~upto] rebuilds the tree from the live suffix: the
+   result is exact on [upto, ∞) and constant [value_at upto] on [0, upto)
+   (the same collapse {!to_profile}'s [~from] performs), and the node
+   arrays are reallocated at the live size, returning the dead history to
+   the OCaml heap. Cost: O(live segments · log U). *)
+let gc t ~upto =
+  Resa_obs.Prof.incr c_gc;
+  if upto < 0 then invalid_arg "Timeline.gc: negative upto";
+  if t.specs > 0 then invalid_arg "Timeline.gc: checkpoint outstanding";
+  (* Collect the live suffix before touching the tree. Chunks are tree
+     leaves in increasing order; the first one is clamped to [upto] and its
+     value — [value_at upto] — becomes the collapsed past. *)
+  let segs = ref [] in
+  iter_chunks_from t ~from:upto ~f:(fun ~lo ~hi ~v ->
+      (match hi with Some hi -> segs := (lo, hi, v) :: !segs | None -> ());
+      true);
+  let segs = List.rev !segs in
+  let tail = t.tail in
+  (* Reset to a fresh one-node tree over [0, 1); fresh arrays actually
+     release the dead nodes (growing back is amortised doubling). *)
+  t.size <- 1;
+  t.last_hi <- 0;
+  t.n_nodes <- 1;
+  t.lc <- Array.make 64 0;
+  t.rc <- Array.make 64 0;
+  t.mn <- Array.make 64 0;
+  t.mx <- Array.make 64 0;
+  t.ad <- Array.make 64 0;
+  t.sm <- Array.make 64 0;
+  t.root <- new_node t tail 1;
+  match segs with
+  | [] -> () (* constant at or after [upto]: the whole timeline is the tail *)
+  | (_, hi0, v0) :: rest ->
+    (* The first live chunk's value reaches back to 0. *)
+    change t ~lo:0 ~hi:hi0 ~delta:(v0 - tail);
+    List.iter (fun (lo, hi, v) -> change t ~lo ~hi ~delta:(v - tail)) rest
+
 let of_profile ?horizon p =
   let tail = Profile.final_value p in
   let t = create tail in

@@ -119,6 +119,23 @@ val first_reaching_area : t -> from:int -> area:int -> cap:int -> int
     returned whenever the target is never reached (non-positive tail).
     [area <= 0] yields [min from cap]. *)
 
+val gc : t -> upto:int -> unit
+(** History garbage collection. The committed past of a capacity timeline
+    never changes — schedulers only mutate and query windows at or after
+    the current instant — so [gc t ~upto] rebuilds the tree from the live
+    suffix alone: the result is exact on [\[upto, ∞)], constant
+    [value_at t upto] on [\[0, upto)] (the same collapse {!to_profile}
+    performs with [~from]), and the node arrays are reallocated at the live
+    size, returning the accumulated history to the OCaml heap. Every query
+    or mutation whose window lies at or after [upto] behaves exactly as
+    before the call. Cost: O(live segments · log U). Raises
+    [Invalid_argument] when a checkpoint is outstanding (the undo log
+    records absolute windows) or [upto < 0]. *)
+
+val node_count : t -> int
+(** Materialised tree nodes (monotone between {!gc} calls) — the memory
+    footprint driver a long replay watches. *)
+
 val next_breakpoint_after : t -> int -> int option
 (** Smallest instant [> t] where the value changes, if any — agrees with
     [Profile.next_breakpoint_after] on the normalized profile. *)

@@ -129,3 +129,21 @@ let reset () =
   spans_store := [];
   Mutex.unlock spans_mutex;
   Array.iter (fun a -> Atomic.set a 0) busy
+
+(* --- process memory ------------------------------------------------------ *)
+
+let peak_rss_kb () =
+  (* VmHWM from /proc/self/status: the process's resident-set high-water
+     mark in kB. Linux-only by construction; [None] elsewhere. *)
+  match In_channel.with_open_text "/proc/self/status" In_channel.input_lines with
+  | lines ->
+    List.find_map
+      (fun line ->
+        match String.index_opt line ':' with
+        | Some i when String.sub line 0 i = "VmHWM" ->
+          let rest = String.sub line (i + 1) (String.length line - i - 1) in
+          let digits = String.to_seq rest |> Seq.filter (fun c -> c >= '0' && c <= '9') in
+          int_of_string_opt (String.of_seq digits)
+        | _ -> None)
+      lines
+  | exception Sys_error _ -> None

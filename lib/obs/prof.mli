@@ -51,3 +51,10 @@ val busy_ns : unit -> (int * int) list
 
 val reset : unit -> unit
 (** Zero all counters and busy accumulators, drop all spans. *)
+
+val peak_rss_kb : unit -> int option
+(** The process's peak resident set size (Linux [VmHWM], in kB) — what a
+    long replay reports to prove its footprint stayed flat. [None] where
+    [/proc/self/status] is unavailable. Works whether or not profiling is
+    enabled; like all wall-clock data here it must never feed deterministic
+    outputs. *)

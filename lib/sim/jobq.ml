@@ -1,0 +1,40 @@
+open Resa_core
+
+type t = {
+  mutable front : Job.t list;
+  mutable back : Job.t list; (* physically the last cons cell of [front]; [] iff empty *)
+  mutable len : int;
+}
+
+let create () = { front = []; back = []; len = 0 }
+let length t = t.len
+let view t = t.front
+
+(* Destructive tail append on ordinary list cells — the same runtime move
+   the compiler's [@tail_mod_cons] transform performs: a cons block's tail
+   field is overwritten through [Obj.set_field] (which carries the GC write
+   barrier). The cells are owned exclusively by this queue until handed out
+   via [view], and [view]s are only consumed before the next mutation, so
+   the sharing is never observable. *)
+let set_tail cell tail = Obj.set_field (Obj.repr cell) 1 (Obj.repr tail)
+
+let append t j =
+  let cell = [ j ] in
+  (match t.back with [] -> t.front <- cell | _ :: _ as last -> set_tail last cell);
+  t.back <- cell;
+  t.len <- t.len + 1
+
+let filter t keep =
+  let front = ref [] and back = ref [] and len = ref 0 in
+  List.iter
+    (fun j ->
+      if keep j then begin
+        let cell = [ j ] in
+        (match !back with [] -> front := cell | _ :: _ as last -> set_tail last cell);
+        back := cell;
+        incr len
+      end)
+    t.front;
+  t.front <- !front;
+  t.back <- !back;
+  t.len <- !len

@@ -1,0 +1,36 @@
+(** The simulator's waiting queue: a FIFO of jobs with O(1) amortised
+    append and an O(1) [Job.t list] view.
+
+    Policies consume the queue as a plain list (submission order), and the
+    simulator used to maintain that list with
+    [queue := !queue @ List.rev !pending] — an O(|queue|) copy per arrival
+    batch, quadratic over a long run with a deep queue. This structure keeps
+    the {e same physical list} and extends it in place at the tail, so the
+    policy-facing API is unchanged while appends cost O(1).
+
+    Aliasing contract: the list returned by {!view} shares cells with the
+    queue and is valid only until the next {!append} or {!filter} — exactly
+    the simulator's use, where a decision's queue snapshot is consumed
+    before the next event is drained. Single-owner, not thread-safe (each
+    simulated run owns its queue). *)
+
+open Resa_core
+
+type t
+
+val create : unit -> t
+
+val length : t -> int
+(** O(1). *)
+
+val view : t -> Job.t list
+(** The queued jobs in FIFO order, O(1) — see the aliasing contract above. *)
+
+val append : t -> Job.t -> unit
+(** Enqueue at the tail, O(1) amortised. *)
+
+val filter : t -> (Job.t -> bool) -> unit
+(** Keep only jobs satisfying the predicate, preserving order — O(length),
+    paid once per decision that started jobs. The previous {!view} is left
+    intact (fresh cells are built), so snapshots taken before the filter
+    stay usable. *)

@@ -1,4 +1,5 @@
 open Resa_core
+module Stats = Resa_stats.Stats
 
 type summary = {
   n : int;
@@ -12,6 +13,7 @@ type summary = {
 
 type job_row = {
   id : int;
+  job_number : int;
   submit : int;
   start : int;
   wait : int;
@@ -26,14 +28,18 @@ type job_row = {
 let wait_times (trace : Simulator.trace) =
   List.map (fun (r : Simulator.record) -> r.start - r.submit) trace.records
 
-let per_job ?(bound = 10) ?provenance (trace : Simulator.trace) =
+let per_job ?(bound = 10) ?provenance ?job_numbers (trace : Simulator.trace) =
   let provenance = match provenance with Some f -> f | None -> fun _ -> "" in
+  let number =
+    match job_numbers with Some a -> fun id -> a.(id) | None -> fun id -> id
+  in
   List.map
     (fun (r : Simulator.record) ->
       let p = Job.p r.job and q = Job.q r.job in
       let wait = r.start - r.submit in
       {
         id = Job.id r.job;
+        job_number = number (Job.id r.job);
         submit = r.submit;
         start = r.start;
         wait;
@@ -50,48 +56,126 @@ let per_job_csv ?run rows =
   let b = Buffer.create (64 * (List.length rows + 1)) in
   let run_col = match run with Some _ -> "run," | None -> "" in
   Buffer.add_string b
-    (run_col ^ "job,submit,start,wait,finish,p,q,slowdown,bounded_slowdown,provenance\n");
+    (run_col ^ "job,job_number,submit,start,wait,finish,p,q,slowdown,bounded_slowdown,provenance\n");
   List.iter
     (fun r ->
       (match run with Some name -> Buffer.add_string b (name ^ ",") | None -> ());
       Buffer.add_string b
-        (Printf.sprintf "%d,%d,%d,%d,%d,%d,%d,%.6g,%.6g,%s\n" r.id r.submit r.start r.wait
-           r.finish r.p r.q r.slowdown r.bounded_slowdown r.provenance))
+        (Printf.sprintf "%d,%d,%d,%d,%d,%d,%d,%d,%.6g,%.6g,%s\n" r.id r.job_number r.submit
+           r.start r.wait r.finish r.p r.q r.slowdown r.bounded_slowdown r.provenance))
     rows;
   Buffer.contents b
 
-let summarize ?(bound = 10) (trace : Simulator.trace) =
-  let n = List.length trace.records in
-  if n = 0 then
-    (* Degenerate on purpose: means over zero jobs are set to their neutral
-       values and utilization — work over zero elapsed time — to [nan]. *)
-    {
-      n = 0;
-      makespan = 0;
-      mean_wait = 0.;
-      max_wait = 0;
-      mean_slowdown = 1.;
-      mean_bounded_slowdown = 1.;
-      utilization = Float.nan;
-    }
+let empty_summary =
+  (* Degenerate on purpose: means over zero jobs are set to their neutral
+     values and utilization — work over zero elapsed time — to [nan]. *)
+  {
+    n = 0;
+    makespan = 0;
+    mean_wait = 0.;
+    max_wait = 0;
+    mean_slowdown = 1.;
+    mean_bounded_slowdown = 1.;
+    utilization = Float.nan;
+  }
+
+(* Shared accumulation kernel for the batch and streaming paths. Waits and
+   work areas are summed in exact integer arithmetic; slowdown sums use the
+   exactly-rounded [Stats.Fsum], whose total is independent of insertion
+   order — that is what makes the streaming summary (records observed in
+   start order) bit-identical to the batch one (records in submission
+   order). *)
+type acc = {
+  bound : int;
+  avail : Profile.t Lazy.t; (* m − U(t), for the utilization denominator *)
+  mutable n : int;
+  mutable makespan : int;
+  mutable wait_sum : int;
+  mutable max_wait : int;
+  mutable work : int;
+  slow : Stats.Fsum.t;
+  bslow : Stats.Fsum.t;
+}
+
+let acc_create ~bound ~m ~reservations =
+  {
+    bound;
+    avail = lazy (Instance.availability_of ~m ~reservations);
+    n = 0;
+    makespan = 0;
+    wait_sum = 0;
+    max_wait = 0;
+    work = 0;
+    slow = Stats.Fsum.create ();
+    bslow = Stats.Fsum.create ();
+  }
+
+let acc_observe a (r : Simulator.record) =
+  let p = Job.p r.job and q = Job.q r.job in
+  let wait = r.start - r.submit in
+  a.n <- a.n + 1;
+  if r.start + p > a.makespan then a.makespan <- r.start + p;
+  a.wait_sum <- a.wait_sum + wait;
+  if wait > a.max_wait then a.max_wait <- wait;
+  a.work <- a.work + (p * q);
+  Stats.Fsum.add a.slow (float_of_int (wait + p) /. float_of_int p);
+  Stats.Fsum.add a.bslow
+    (Float.max 1.0 (float_of_int (wait + p) /. float_of_int (max p a.bound)))
+
+let acc_summary a =
+  if a.n = 0 then empty_summary
   else begin
-    let rows = per_job ~bound trace in
-    let fsum = List.fold_left ( +. ) 0.0 in
-    let mean_wait = fsum (List.map (fun r -> float_of_int r.wait) rows) /. float_of_int n in
-    let max_wait = List.fold_left (fun acc r -> max acc r.wait) 0 rows in
-    let inst, sched = Simulator.to_offline trace in
+    let fn = float_of_int a.n in
+    let utilization =
+      (* [Schedule.utilization] verbatim, without rebuilding the schedule:
+         work over available area on [0, makespan). *)
+      if a.makespan = 0 then 1.0
+      else
+        let avail_area = Profile.integral_on (Lazy.force a.avail) ~lo:0 ~hi:a.makespan in
+        if avail_area = 0 then 1.0 else float_of_int a.work /. float_of_int avail_area
+    in
     {
-      n;
-      makespan = trace.makespan;
-      mean_wait;
-      max_wait;
-      mean_slowdown = fsum (List.map (fun r -> r.slowdown) rows) /. float_of_int n;
-      mean_bounded_slowdown = fsum (List.map (fun r -> r.bounded_slowdown) rows) /. float_of_int n;
-      utilization = Schedule.utilization inst sched;
+      n = a.n;
+      makespan = a.makespan;
+      mean_wait = float_of_int a.wait_sum /. fn;
+      max_wait = a.max_wait;
+      mean_slowdown = Stats.Fsum.total a.slow /. fn;
+      mean_bounded_slowdown = Stats.Fsum.total a.bslow /. fn;
+      utilization;
     }
   end
 
-let pp_summary ppf s =
+let summarize ?(bound = 10) (trace : Simulator.trace) =
+  let a = acc_create ~bound ~m:trace.m ~reservations:trace.reservations in
+  List.iter (acc_observe a) trace.records;
+  let s = acc_summary a in
+  (* The trace's makespan is definitionally max (start + p); keep using it
+     so a summary never disagrees with its trace. *)
+  if s.n = 0 then s else { s with makespan = trace.makespan }
+
+module Stream = struct
+  type t = { a : acc; wait_p50 : Stats.P2.t; wait_p95 : Stats.P2.t }
+
+  let create ?(bound = 10) ~m ~reservations () =
+    {
+      a = acc_create ~bound ~m ~reservations;
+      wait_p50 = Stats.P2.create ~q:0.5;
+      wait_p95 = Stats.P2.create ~q:0.95;
+    }
+
+  let observe t r =
+    acc_observe t.a r;
+    let wait = float_of_int (r.Simulator.start - r.Simulator.submit) in
+    Stats.P2.add t.wait_p50 wait;
+    Stats.P2.add t.wait_p95 wait
+
+  let count t = t.a.n
+  let summary t = acc_summary t.a
+  let wait_p50 t = Stats.P2.value t.wait_p50
+  let wait_p95 t = Stats.P2.value t.wait_p95
+end
+
+let pp_summary ppf (s : summary) =
   Format.fprintf ppf
     "n=%d Cmax=%d wait(mean=%.1f,max=%d) slowdown(mean=%.2f,bounded=%.2f) util=%.3f" s.n
     s.makespan s.mean_wait s.max_wait s.mean_slowdown s.mean_bounded_slowdown s.utilization
@@ -100,6 +184,6 @@ let header =
   Printf.sprintf "%-8s %6s %10s %8s %8s %10s %6s" "policy" "Cmax" "mean_wait" "max_wait"
     "slowdn" "bnd_slowdn" "util"
 
-let row ~name s =
+let row ~name (s : summary) =
   Printf.sprintf "%-8s %6d %10.1f %8d %8.2f %10.2f %6.3f" name s.makespan s.mean_wait s.max_wait
     s.mean_slowdown s.mean_bounded_slowdown s.utilization

@@ -115,8 +115,10 @@ let conservative =
        [planned] maps job id to its promised start. *)
     let planned : (int, int) Hashtbl.t = Hashtbl.create 64 in
     let plan = ref None in
+    let decisions = ref 0 in
     fun ~time ~queue ~free ->
       Prof.incr c_cons;
+      incr decisions;
       let p =
         match !plan with
         | Some p -> p
@@ -127,6 +129,11 @@ let conservative =
           plan := Some p;
           p
       in
+      (* The plan accretes one window per job forever; on streamed replays
+         that history is the policy's only unbounded state. Planning only
+         ever queries at or after [time], so compacting the past is
+         invisible to decisions (and hence to traces). *)
+      if !decisions land 4095 = 0 then Timeline.gc p ~upto:time;
       let plan_job j ~from =
         let s =
           Option.get (Timeline.earliest_fit p ~from ~dur:(Job.p j) ~need:(Job.q j))
@@ -157,6 +164,11 @@ let conservative =
             else false)
           queue
       in
+      (* A started job never reappears in the queue, so its promise entry is
+         dead — dropping it here keeps [planned] proportional to the live
+         queue. Its plan window stays reserved: the machine really is
+         occupied. *)
+      List.iter (fun j -> Hashtbl.remove planned (Job.id j)) start_now;
       let started : (int, unit) Hashtbl.t = Hashtbl.create 16 in
       List.iter (fun j -> Hashtbl.replace started (Job.id j) ()) start_now;
       let wake =

@@ -4,6 +4,8 @@ module Prof = Resa_obs.Prof
 
 type submitted = { job : Job.t; submit : int }
 
+type arrival = { job : Job.t; submit : int; estimate : int }
+
 type record = { job : Job.t; submit : int; start : int }
 
 type trace = {
@@ -13,47 +15,30 @@ type trace = {
   makespan : int;
 }
 
+type stream_stats = { jobs : int; makespan : int; max_queued : int; max_live : int }
+
 exception Policy_error of string
 
 type event =
-  | Arrival of int (* index into the submission array *)
   | Completion of int (* job id *)
   | Wake
 
-let run_estimated ?(obs = Trace.null) ~policy ~m ?(reservations = []) ~estimates
-    (submissions : submitted list) =
-  let subs = Array.of_list submissions in
-  let n = Array.length subs in
-  if Array.length estimates <> n then
-    invalid_arg "Simulator.run_estimated: estimates length mismatch";
-  Array.iteri
-    (fun i (s : submitted) ->
-      if s.submit < 0 then invalid_arg "Simulator.run_estimated: negative submit time";
-      if estimates.(i) < Job.p s.job then
-        invalid_arg "Simulator.run_estimated: estimate below the actual runtime")
-    subs;
-  (* Instance construction validates ids, widths and reservations. *)
-  let base =
-    Instance.create_exn ~m ~jobs:(List.map (fun (s : submitted) -> s.job) submissions)
-      ~reservations
-  in
-  (* Policies see the *estimated* jobs. *)
-  let estimated =
-    Array.mapi
-      (fun i (s : submitted) -> Job.make ~id:(Job.id s.job) ~p:estimates.(i) ~q:(Job.q s.job))
-      subs
-  in
-  let actual_p : (int, int) Hashtbl.t = Hashtbl.create n in
-  let est_p : (int, int) Hashtbl.t = Hashtbl.create n in
-  Array.iteri
-    (fun i (s : submitted) ->
-      Hashtbl.replace actual_p (Job.id s.job) (Job.p s.job);
-      Hashtbl.replace est_p (Job.id s.job) estimates.(i))
-    subs;
+(* Per-job state held only while the job is waiting or running; dropped at
+   completion, which is what keeps a streamed replay's footprint proportional
+   to the number of *live* jobs rather than the trace length. *)
+type live = { ljob : Job.t; lsubmit : int; lest : int; mutable lstart : int }
+
+(* The single event loop behind both entry points. Arrivals are pulled from
+   [next] (submit times non-decreasing) with one arrival of lookahead;
+   everything else matches the former array-based engine event for event:
+   at any instant, due arrivals are admitted first (they used to occupy the
+   lowest heap sequence numbers and therefore popped first), then heap
+   events in push order — so traces are byte-identical across the two entry
+   points (enforced by test/test_stream.ml). *)
+let run_core ~obs ~policy ~m ~reservations ~gc_every ~on_record (next : unit -> arrival option) =
+  (* Instance construction validates the machine and the reservation set. *)
+  let base = Instance.create_exn ~m ~jobs:[] ~reservations in
   let tracing = Trace.enabled obs in
-  let submit_of : (int, int) Hashtbl.t = Hashtbl.create (if tracing then n else 1) in
-  if tracing then
-    Array.iter (fun (s : submitted) -> Hashtbl.replace submit_of (Job.id s.job) s.submit) subs;
   (* Capacity blocked by reservations alone, for classifying why a job does
      not fit: if it would fit with the blocked windows given back, the
      reservation is the binding constraint. Only built when tracing. *)
@@ -61,7 +46,6 @@ let run_estimated ?(obs = Trace.null) ~policy ~m ?(reservations = []) ~estimates
     lazy (Profile.sub (Profile.constant m) (Instance.availability base))
   in
   let events : event Event_heap.t = Event_heap.create () in
-  Array.iteri (fun i (s : submitted) -> Event_heap.push events ~time:s.submit (Arrival i)) subs;
   (* Reservation edges are decision opportunities for every policy. *)
   Array.iter
     (fun t -> Event_heap.push events ~time:t Wake)
@@ -76,44 +60,77 @@ let run_estimated ?(obs = Trace.null) ~policy ~m ?(reservations = []) ~estimates
   (* The policy's per-run state is created here — plans cannot leak across
      runs by construction. *)
   let decide = policy.Policy.create ~obs in
-  (* Waiting jobs in submission order; [pending] batches arrivals drained
-     since the last decision (newest first), [in_queue] gives O(1)
-     membership by id. *)
-  let queue = ref [] in
-  let pending = ref [] in
-  let in_queue : (int, unit) Hashtbl.t = Hashtbl.create n in
-  let starts : (int, int) Hashtbl.t = Hashtbl.create n in
+  let queue = Jobq.create () in
+  let in_queue : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let live : (int, live) Hashtbl.t = Hashtbl.create 1024 in
   let forced = ref false in
-  let width_of : (int, int) Hashtbl.t = Hashtbl.create n in
-  Array.iter (fun j -> Hashtbl.replace width_of (Job.id j) (Job.q j)) estimated;
+  let n_jobs = ref 0 and makespan = ref 0 in
+  let max_queued = ref 0 and max_live = ref 0 in
+  let completions = ref 0 in
+  let last_submit = ref 0 in
+  let ahead = ref None in
+  let peek_arrival () =
+    match !ahead with
+    | Some _ as a -> a
+    | None -> (
+      match next () with
+      | None -> None
+      | Some a as r ->
+        if a.submit < 0 then invalid_arg "Simulator.run_stream: negative submit time";
+        if a.submit < !last_submit then
+          invalid_arg "Simulator.run_stream: submit times must be non-decreasing";
+        if a.estimate < Job.p a.job then
+          invalid_arg "Simulator.run_stream: estimate below the actual runtime";
+        if Job.q a.job > m then
+          invalid_arg "Simulator.run_stream: job wider than the machine";
+        last_submit := a.submit;
+        ahead := r;
+        r)
+  in
+  let admit t (a : arrival) =
+    let id = Job.id a.job in
+    if Hashtbl.mem live id then invalid_arg "Simulator.run_stream: duplicate live job id";
+    Hashtbl.replace live id { ljob = a.job; lsubmit = a.submit; lest = a.estimate; lstart = -1 };
+    incr n_jobs;
+    if Hashtbl.length live > !max_live then max_live := Hashtbl.length live;
+    (* Policies see the *estimated* job. *)
+    Jobq.append queue (Job.make ~id ~p:a.estimate ~q:(Job.q a.job));
+    Hashtbl.replace in_queue id ();
+    if Jobq.length queue > !max_queued then max_queued := Jobq.length queue;
+    if tracing then
+      Trace.emit obs (Trace.Job_submit { time = t; job = id; p = Job.p a.job; q = Job.q a.job })
+  in
   (* Completion of job [id] at [t]: give back the over-reserved tail. *)
   let release_tail id t =
-    let start = Hashtbl.find starts id in
-    let planned_end = start + Hashtbl.find est_p id in
-    if t < planned_end then
-      Timeline.change free ~lo:t ~hi:planned_end ~delta:(Hashtbl.find width_of id)
+    let l = Hashtbl.find live id in
+    let planned_end = l.lstart + l.lest in
+    if t < planned_end then Timeline.change free ~lo:t ~hi:planned_end ~delta:(Job.q l.ljob)
   in
   let rec drain t =
-    match Event_heap.peek_time events with
-    | Some t' when t' = t ->
-      (match Event_heap.pop events with
-      | Some (_, Arrival i) ->
-        pending := estimated.(i) :: !pending;
-        Hashtbl.replace in_queue (Job.id estimated.(i)) ();
-        if tracing then begin
-          let j = subs.(i).job in
-          Trace.emit obs
-            (Trace.Job_submit { time = t; job = Job.id j; p = Job.p j; q = Job.q j })
-        end
-      | Some (_, Completion id) ->
-        release_tail id t;
-        if tracing then Trace.emit obs (Trace.Job_finish { time = t; job = id })
-      | Some (_, Wake) | None -> ());
+    match peek_arrival () with
+    | Some a when a.submit <= t ->
+      ahead := None;
+      admit t a;
       drain t
-    | _ -> ()
+    | _ -> (
+      match Event_heap.peek_time events with
+      | Some t' when t' = t ->
+        (match Event_heap.pop events with
+        | Some (_, Completion id) ->
+          release_tail id t;
+          Hashtbl.remove live id;
+          incr completions;
+          (* Outside any decision checkpoint, with every future query at or
+             after [t]: the history left of now is dead weight. *)
+          if gc_every > 0 && !completions mod gc_every = 0 then Timeline.gc free ~upto:t;
+          if tracing then Trace.emit obs (Trace.Job_finish { time = t; job = id })
+        | Some (_, Wake) | None -> ());
+        drain t
+      | _ -> ())
   in
   let start_job t j =
-    let est = Hashtbl.find est_p (Job.id j) in
+    let l = Hashtbl.find live (Job.id j) in
+    let est = l.lest in
     let have = Timeline.min_on free ~lo:t ~hi:(t + est) in
     if have < Job.q j then
       raise
@@ -122,20 +139,31 @@ let run_estimated ?(obs = Trace.null) ~policy ~m ?(reservations = []) ~estimates
               "%s started %a at t=%d without capacity: window [%d,%d) needs %d but offers %d"
               policy.Policy.name Job.pp j t t (t + est) (Job.q j) have));
     Timeline.reserve free ~start:t ~dur:est ~need:(Job.q j);
-    Hashtbl.replace starts (Job.id j) t;
+    l.lstart <- t;
     forced := false;
-    Event_heap.push events ~time:(t + Hashtbl.find actual_p (Job.id j)) (Completion (Job.id j))
+    let finish = t + Job.p l.ljob in
+    if finish > !makespan then makespan := finish;
+    Event_heap.push events ~time:finish (Completion (Job.id j));
+    on_record { job = l.ljob; submit = l.lsubmit; start = t }
   in
   let last_t = ref (-1) in
+  let next_time () =
+    match (Event_heap.peek_time events, peek_arrival ()) with
+    | Some th, Some a -> Some (min th a.submit)
+    | (Some _ as r), None -> r
+    | None, Some a -> Some a.submit
+    | None, None -> None
+  in
   let rec loop () =
-    match Event_heap.peek_time events with
+    match next_time () with
     | None ->
-      if !queue <> [] then
+      if Jobq.length queue > 0 then
         if !forced then
           raise
             (Policy_error
                (Format.asprintf "%s deadlocked at t=%d with %d queued jobs (head %a)"
-                  policy.Policy.name !last_t (List.length !queue) Job.pp (List.hd !queue)))
+                  policy.Policy.name !last_t (Jobq.length queue) Job.pp
+                  (List.hd (Jobq.view queue))))
         else begin
           (* No event left but jobs wait: past the last breakpoint the whole
              machine is free, so a correct policy must start them; wake it
@@ -149,11 +177,7 @@ let run_estimated ?(obs = Trace.null) ~policy ~m ?(reservations = []) ~estimates
     | Some t ->
       drain t;
       last_t := t;
-      if !pending <> [] then begin
-        queue := !queue @ List.rev !pending;
-        pending := []
-      end;
-      let q_now = !queue in
+      let q_now = Jobq.view queue in
       View.set_now view t;
       let spec = Timeline.checkpoint free in
       let action = decide ~time:t ~queue:q_now ~free:view in
@@ -183,7 +207,7 @@ let run_estimated ?(obs = Trace.null) ~policy ~m ?(reservations = []) ~estimates
              {
                time = t;
                policy = policy.Policy.name;
-               queued = List.length q_now;
+               queued = Jobq.length queue;
                started = List.length start_now;
                wake;
              });
@@ -211,7 +235,7 @@ let run_estimated ?(obs = Trace.null) ~policy ~m ?(reservations = []) ~estimates
                    {
                      time = t;
                      job = Job.id j;
-                     wait = t - Hashtbl.find submit_of (Job.id j);
+                     wait = t - (Hashtbl.find live (Job.id j)).lsubmit;
                      provenance;
                    }))
             start_now
@@ -224,7 +248,7 @@ let run_estimated ?(obs = Trace.null) ~policy ~m ?(reservations = []) ~estimates
         match List.find_opt (fun j -> not (Hashtbl.mem started_set (Job.id j))) q_now with
         | None -> ()
         | Some jh ->
-          let est = Hashtbl.find est_p (Job.id jh) in
+          let est = (Hashtbl.find live (Job.id jh)).lest in
           let need = Job.q jh in
           let have = Timeline.min_on free ~lo:t ~hi:(t + est) in
           let reason =
@@ -255,7 +279,7 @@ let run_estimated ?(obs = Trace.null) ~policy ~m ?(reservations = []) ~estimates
       end;
       if start_now <> [] then begin
         List.iter (fun j -> Hashtbl.remove in_queue (Job.id j)) start_now;
-        queue := List.filter (fun j -> Hashtbl.mem in_queue (Job.id j)) !queue
+        Jobq.filter queue (fun j -> Hashtbl.mem in_queue (Job.id j))
       end;
       (match wake with
       | Some w when w > t -> Event_heap.push events ~time:w Wake
@@ -263,13 +287,56 @@ let run_estimated ?(obs = Trace.null) ~policy ~m ?(reservations = []) ~estimates
       loop ()
   in
   Prof.with_span ~cat:"sim" ("simulate/" ^ policy.Policy.name) loop;
-  let records =
-    Array.to_list subs
-    |> List.map (fun (s : submitted) ->
-           { job = s.job; submit = s.submit; start = Hashtbl.find starts (Job.id s.job) })
+  { jobs = !n_jobs; makespan = !makespan; max_queued = !max_queued; max_live = !max_live }
+
+let run_stream ?(obs = Trace.null) ?(gc_every = 0) ?(on_record = fun (_ : record) -> ())
+    ~policy ~m ?(reservations = []) next =
+  if gc_every < 0 then invalid_arg "Simulator.run_stream: negative gc_every";
+  run_core ~obs ~policy ~m ~reservations ~gc_every ~on_record next
+
+let run_estimated ?(obs = Trace.null) ~policy ~m ?(reservations = []) ~estimates
+    (submissions : submitted list) =
+  let subs = Array.of_list submissions in
+  let n = Array.length subs in
+  if Array.length estimates <> n then
+    invalid_arg "Simulator.run_estimated: estimates length mismatch";
+  Array.iteri
+    (fun i (s : submitted) ->
+      if s.submit < 0 then invalid_arg "Simulator.run_estimated: negative submit time";
+      if estimates.(i) < Job.p s.job then
+        invalid_arg "Simulator.run_estimated: estimate below the actual runtime")
+    subs;
+  (* Instance construction validates ids, widths and reservations. *)
+  ignore
+    (Instance.create_exn ~m ~jobs:(List.map (fun (s : submitted) -> s.job) submissions)
+       ~reservations
+      : Instance.t);
+  (* Feed the engine in (submit, index) order — exactly the order the event
+     heap used to pop the arrival events it no longer holds. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      match Int.compare subs.(i).submit subs.(j).submit with 0 -> Int.compare i j | c -> c)
+    order;
+  let k = ref 0 in
+  let next () =
+    if !k >= n then None
+    else begin
+      let i = order.(!k) in
+      incr k;
+      Some { job = subs.(i).job; submit = subs.(i).submit; estimate = estimates.(i) }
+    end
   in
-  let makespan = List.fold_left (fun acc r -> max acc (r.start + Job.p r.job)) 0 records in
-  { m; reservations; records; makespan }
+  let by_id : (int, record) Hashtbl.t = Hashtbl.create (max 16 n) in
+  let stats =
+    run_core ~obs ~policy ~m ~reservations ~gc_every:0
+      ~on_record:(fun r -> Hashtbl.replace by_id (Job.id r.job) r)
+      next
+  in
+  let records =
+    List.map (fun (s : submitted) -> Hashtbl.find by_id (Job.id s.job)) submissions
+  in
+  { m; reservations; records; makespan = stats.makespan }
 
 let run ?obs ~policy ~m ?(reservations = []) (submissions : submitted list) =
   let estimates =

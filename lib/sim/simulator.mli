@@ -44,6 +44,10 @@ open Resa_core
 
 type submitted = { job : Job.t; submit : int }
 
+type arrival = { job : Job.t; submit : int; estimate : int }
+(** One streamed submission: the actual job, its submit time and the
+    requested walltime ([estimate >= Job.p job]). *)
+
 type record = { job : Job.t; submit : int; start : int }
 
 type trace = {
@@ -51,6 +55,13 @@ type trace = {
   reservations : Reservation.t list;
   records : record list;  (** In submission order. *)
   makespan : int;
+}
+
+type stream_stats = {
+  jobs : int;  (** Arrivals simulated. *)
+  makespan : int;
+  max_queued : int;  (** Peak waiting-queue length. *)
+  max_live : int;  (** Peak jobs waiting or running — the memory driver. *)
 }
 
 exception Policy_error of string
@@ -84,6 +95,37 @@ val run_estimated :
     mechanism behind backfilling's well-known sensitivity to user walltime
     overestimation. [run] is the special case [estimates = actual]. The
     returned records carry the *actual* jobs. *)
+
+val run_stream :
+  ?obs:Resa_obs.Trace.t ->
+  ?gc_every:int ->
+  ?on_record:(record -> unit) ->
+  policy:Policy.t ->
+  m:int ->
+  ?reservations:Reservation.t list ->
+  (unit -> arrival option) ->
+  stream_stats
+(** Constant-memory replay: arrivals are pulled one at a time from the
+    iterator (submit times must be non-decreasing; one arrival of lookahead
+    is held), per-job bookkeeping is dropped when the job completes, and no
+    record list is built — [on_record] (default: ignore) observes each
+    [(job, submit, start)] at the instant the job starts, in start order.
+    Memory is O(live jobs + timeline), independent of trace length.
+
+    [gc_every] (default 0 = never) compacts the capacity timeline with
+    [Timeline.gc ~upto:now] every that many completions, bounding the
+    third memory consumer on multi-million-job runs. Compaction is
+    invisible: every simulator and policy access touches windows at or
+    after now.
+
+    Semantics are those of {!run_estimated} on the drained arrival list:
+    same decisions, same starts, and byte-identical [?obs] traces — at any
+    instant due arrivals are admitted before heap events, exactly the order
+    the array engine's FIFO-stable heap produced (enforced by the
+    differential suite in [test/test_stream.ml], including under
+    [gc_every:1]). Per-arrival validation (negative submit, decreasing
+    submit, estimate below runtime, width over [m], duplicate live id)
+    raises [Invalid_argument] at the offending pull. *)
 
 val to_offline : trace -> Instance.t * Schedule.t
 (** Forget release dates: the instance/schedule pair actually executed,

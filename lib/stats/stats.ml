@@ -95,6 +95,168 @@ let histogram ~bins xs =
           (lo +. (float_of_int b *. width), lo +. (float_of_int (b + 1) *. width), counts.(b)))
     end
 
+module Fsum = struct
+  (* Shewchuk's growing expansion, with CPython math.fsum's rounding
+     correction: [partials] is a list of non-overlapping floats in
+     increasing magnitude whose exact sum is the exact sum of everything
+     added so far. Because the invariant characterises the exact value,
+     [total] is independent of the order in which terms were added — the
+     property the streaming metrics lean on to reproduce the batch path
+     bit for bit from completion-ordered records. *)
+  type t = { mutable partials : float array; mutable n : int }
+
+  let create () = { partials = Array.make 4 0.0; n = 0 }
+
+  let add t x =
+    if not (Float.is_finite x) then invalid_arg "Stats.Fsum.add: non-finite term";
+    let x = ref x in
+    let i = ref 0 in
+    for j = 0 to t.n - 1 do
+      let y = t.partials.(j) in
+      let lo, hi = if Float.abs !x < Float.abs y then (!x, y) else (y, !x) in
+      let s = hi +. lo in
+      let err = lo -. (s -. hi) in
+      if err <> 0.0 then begin
+        t.partials.(!i) <- err;
+        incr i
+      end;
+      x := s
+    done;
+    if !i = Array.length t.partials then begin
+      let b = Array.make (2 * !i) 0.0 in
+      Array.blit t.partials 0 b 0 !i;
+      t.partials <- b
+    end;
+    t.partials.(!i) <- !x;
+    t.n <- !i + 1
+
+  let total t =
+    (* Sum from largest magnitude down, tracking one rounding error term;
+       apply CPython's half-way correction against the next partial so the
+       result is the exact sum correctly rounded. *)
+    if t.n = 0 then 0.0
+    else begin
+      let i = ref (t.n - 1) in
+      let hi = ref t.partials.(!i) in
+      let lo = ref 0.0 in
+      (try
+         while !i > 0 do
+           decr i;
+           let x = !hi in
+           let y = t.partials.(!i) in
+           hi := x +. y;
+           lo := y -. (!hi -. x);
+           if !lo <> 0.0 then raise Exit
+         done
+       with Exit -> ());
+      if !i > 0 && ((!lo < 0.0 && t.partials.(!i - 1) < 0.0) || (!lo > 0.0 && t.partials.(!i - 1) > 0.0))
+      then begin
+        let y = !lo *. 2.0 in
+        let x = !hi +. y in
+        if y = x -. !hi then hi := x
+      end;
+      !hi
+    end
+end
+
+module P2 = struct
+  (* Jain–Chlamtac P² estimator: five markers tracking the running
+     min / q/2 / q / (1+q)/2 / max quantile curve with parabolic marker
+     adjustment. Constant memory, one comparison pass per observation;
+     exact for the first five samples, a heuristic (typically within a few
+     relative percent of the empirical quantile on smooth distributions)
+     afterwards — the differential suite in test/test_stats.ml pins the
+     error against the exact nearest-rank percentile. *)
+  type t = {
+    q : float; (* target quantile in (0, 1) *)
+    h : float array; (* marker heights *)
+    pos : float array; (* marker positions (1-based ranks) *)
+    np : float array; (* desired positions *)
+    dn : float array; (* desired position increments *)
+    mutable count : int;
+  }
+
+  let create ~q =
+    if not (q > 0.0 && q < 1.0) then invalid_arg "Stats.P2.create: q must be in (0, 1)";
+    {
+      q;
+      h = Array.make 5 0.0;
+      pos = [| 1.; 2.; 3.; 4.; 5. |];
+      np = [| 1.; 1. +. (2. *. q); 1. +. (4. *. q); 3. +. (2. *. q); 5. |];
+      dn = [| 0.; q /. 2.; q; (1. +. q) /. 2.; 1. |];
+      count = 0;
+    }
+
+  let count t = t.count
+
+  let parabolic t i d =
+    let h = t.h and pos = t.pos in
+    h.(i)
+    +. d
+       /. (pos.(i + 1) -. pos.(i - 1))
+       *. (((pos.(i) -. pos.(i - 1) +. d) *. (h.(i + 1) -. h.(i)) /. (pos.(i + 1) -. pos.(i)))
+          +. ((pos.(i + 1) -. pos.(i) -. d) *. (h.(i) -. h.(i - 1)) /. (pos.(i) -. pos.(i - 1))))
+
+  let linear t i d =
+    t.h.(i) +. (d *. (t.h.(i + int_of_float d) -. t.h.(i)) /. (t.pos.(i + int_of_float d) -. t.pos.(i)))
+
+  let add t x =
+    if t.count < 5 then begin
+      t.h.(t.count) <- x;
+      t.count <- t.count + 1;
+      if t.count = 5 then Array.sort Float.compare t.h
+    end
+    else begin
+      t.count <- t.count + 1;
+      let k =
+        if x < t.h.(0) then begin
+          t.h.(0) <- x;
+          0
+        end
+        else if x >= t.h.(4) then begin
+          t.h.(4) <- x;
+          3
+        end
+        else begin
+          let k = ref 0 in
+          for i = 1 to 3 do
+            if x >= t.h.(i) then k := i
+          done;
+          !k
+        end
+      in
+      for i = k + 1 to 4 do
+        t.pos.(i) <- t.pos.(i) +. 1.
+      done;
+      for i = 0 to 4 do
+        t.np.(i) <- t.np.(i) +. t.dn.(i)
+      done;
+      for i = 1 to 3 do
+        let d = t.np.(i) -. t.pos.(i) in
+        if
+          (d >= 1.0 && t.pos.(i + 1) -. t.pos.(i) > 1.0)
+          || (d <= -1.0 && t.pos.(i - 1) -. t.pos.(i) < -1.0)
+        then begin
+          let d = if d >= 0.0 then 1.0 else -1.0 in
+          let h' = parabolic t i d in
+          let h' = if t.h.(i - 1) < h' && h' < t.h.(i + 1) then h' else linear t i d in
+          t.h.(i) <- h';
+          t.pos.(i) <- t.pos.(i) +. d
+        end
+      done
+    end
+
+  let value t =
+    if t.count = 0 then Float.nan
+    else if t.count <= 5 then begin
+      (* Exact nearest-rank on the buffered prefix. *)
+      let a = Array.sub t.h 0 t.count in
+      Array.sort Float.compare a;
+      percentile_of_sorted a ~p:(t.q *. 100.0)
+    end
+    else t.h.(2)
+end
+
 let summary_line xs =
   match describe xs with
   | None -> "n=0"

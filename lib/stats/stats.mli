@@ -40,3 +40,44 @@ val histogram : bins:int -> float list -> (float * float * int) list
 
 val summary_line : float list -> string
 (** "n=… mean=… std=… min=… p50=… max=…" *)
+
+(** {2 Streaming accumulators}
+
+    Constant-memory accumulators for the trace-replay path, where the
+    sample list never materialises. *)
+
+(** Exactly-rounded float summation (Shewchuk expansions, the algorithm
+    behind CPython's [math.fsum]). The returned total is the true real sum
+    of the terms rounded once to the nearest double — in particular it is
+    {e independent of insertion order}, which is what lets the streaming
+    metrics (fed in completion order) reproduce the batch metrics (fed in
+    submission order) bit for bit. O(1) amortised per term on well-scaled
+    data; worst case O(partials). *)
+module Fsum : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  (** Raises [Invalid_argument] on nan/infinite terms. *)
+
+  val total : t -> float
+  (** The exact sum, correctly rounded. 0 when no terms were added. *)
+end
+
+(** P² (Jain–Chlamtac 1985) streaming quantile estimator: five markers,
+    O(1) memory and per-observation time. Exact while [count <= 5] (the
+    observations are buffered); afterwards a heuristic whose error on
+    smooth distributions is typically well under a percent of the value —
+    the differential tests pin it against {!percentile}. Not mergeable. *)
+module P2 : sig
+  type t
+
+  val create : q:float -> t
+  (** Track the [q]-quantile, [q ∈ (0, 1)] exclusive; raises otherwise. *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+
+  val value : t -> float
+  (** Current estimate; nan before any observation. *)
+end

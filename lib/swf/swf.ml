@@ -58,8 +58,12 @@ let parse_line line =
   else if String.length line > 0 && line.[0] = ';' then Ok None
   else begin
     let tokens =
-      String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) line)
-      |> List.filter (fun s -> s <> "" && s <> "\r")
+      (* '\r' joins the separators so CRLF traces parse: otherwise the final
+         field of every line would arrive as e.g. "18\r" and fail numeric
+         conversion. *)
+      String.split_on_char ' '
+        (String.map (fun c -> if c = '\t' || c = '\r' then ' ' else c) line)
+      |> List.filter (fun s -> s <> "")
     in
     if List.length tokens < 18 then
       Error (Printf.sprintf "expected 18 fields, found %d" (List.length tokens))
@@ -73,9 +77,12 @@ let parse_line line =
             | Some v -> values.(i) <- v
             | None ->
               (* The archive stores a few fields (e.g. average CPU) as
-                 floats; accept and truncate them. *)
+                 floats; accept them. Durations round {e up}: truncating a
+                 0.9-second runtime to 0 would turn a job that occupied the
+                 machine into a no-work entry that [carries_work] drops. *)
               (match float_of_string_opt tok with
-              | Some f -> values.(i) <- int_of_float f
+              | Some f ->
+                values.(i) <- (if i = 3 || i = 8 then int_of_float (Float.ceil f) else int_of_float f)
               | None -> bad := Some (Printf.sprintf "field %s: %S is not a number" field_names.(i) tok)))
         tokens;
       match !bad with
@@ -165,14 +172,18 @@ let of_workload triples =
       })
     triples
 
+let estimated_of_entry ~m ~id e =
+  let q0 = if e.req_procs > 0 then e.req_procs else e.alloc_procs in
+  let q = max 1 (min m q0) in
+  let p = max 1 e.run in
+  let est = max p e.req_time in
+  (Job.make ~id ~p ~q, max 0 e.submit, est)
+
 let to_estimated_workload ?(keep_failed = true) entries ~m =
-  List.filter (keep ~keep_failed) entries
-  |> List.mapi (fun i e ->
-         let q0 = if e.req_procs > 0 then e.req_procs else e.alloc_procs in
-         let q = max 1 (min m q0) in
-         let p = max 1 e.run in
-         let est = max p e.req_time in
-         (Job.make ~id:i ~p ~q, max 0 e.submit, est))
+  List.filter (keep ~keep_failed) entries |> List.mapi (fun i e -> estimated_of_entry ~m ~id:i e)
+
+let job_numbers ?(keep_failed = true) entries =
+  List.filter (keep ~keep_failed) entries |> List.map (fun e -> e.job_number) |> Array.of_list
 
 let generate ?(overestimate = 1.0) rng ~m ~n ~max_runtime ~mean_gap =
   if overestimate < 1.0 then invalid_arg "Swf.generate: overestimate must be >= 1.0";

@@ -76,6 +76,22 @@ val to_estimated_workload :
     at least the actual runtime) — the walltime-accuracy data real SWF
     traces carry. Filters entries exactly like {!to_workload}. *)
 
+val keep : keep_failed:bool -> entry -> bool
+(** The filter both converters apply: the entry carries work (positive [run]
+    or [req_time]) and, unless [keep_failed], did not fail. Exposed so the
+    streaming reader ({!Swf_stream}) provably applies the same rule. *)
+
+val estimated_of_entry : m:int -> id:int -> entry -> Job.t * int * int
+(** Convert one {e kept} entry exactly as {!to_estimated_workload} does,
+    with the caller supplying the renumbered id — the shared kernel of the
+    batch and streaming paths. *)
+
+val job_numbers : ?keep_failed:bool -> entry list -> int array
+(** Archive job numbers of the kept entries, indexed by the renumbered job
+    id the converters assign — the provenance map that lets per-job metric
+    rows name jobs as the original trace does. Same [keep_failed] default
+    (true) and filter as {!to_workload}. *)
+
 val generate :
   ?overestimate:float -> Prng.t -> m:int -> n:int -> max_runtime:int -> mean_gap:float -> entry list
 (** Synthetic archive-like trace: power-of-two-biased widths, log-uniform

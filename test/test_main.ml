@@ -25,6 +25,7 @@ let () =
       ("simulator", Test_sim.suite);
       ("policy-diff", Test_policy_diff.suite);
       ("swf", Test_swf.suite);
+      ("stream", Test_stream.suite);
       ("stats", Test_stats.suite);
       ("par", Test_par.suite);
       ("obs", Test_obs.suite);

@@ -329,11 +329,11 @@ let test_per_job_and_csv () =
   let lines = String.split_on_char '\n' (String.trim csv) in
   Alcotest.(check int) "header + rows" 16 (List.length lines);
   Alcotest.(check string) "header"
-    "run,job,submit,start,wait,finish,p,q,slowdown,bounded_slowdown,provenance"
+    "run,job,job_number,submit,start,wait,finish,p,q,slowdown,bounded_slowdown,provenance"
     (List.hd lines);
   List.iter
     (fun line ->
-      Alcotest.(check int) "11 columns" 11
+      Alcotest.(check int) "12 columns" 12
         (List.length (String.split_on_char ',' line)))
     lines
 

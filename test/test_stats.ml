@@ -116,6 +116,88 @@ let prop_histogram_conserves_count =
       let h = Stats.histogram ~bins:5 xs in
       List.fold_left (fun acc (_, _, c) -> acc + c) 0 h = List.length xs)
 
+(* --- streaming accumulators --------------------------------------------- *)
+
+let fsum xs =
+  let f = Stats.Fsum.create () in
+  List.iter (Stats.Fsum.add f) xs;
+  Stats.Fsum.total f
+
+let test_fsum_exact () =
+  (* Naive left-to-right summation loses the 1.0 entirely. *)
+  feq "cancellation" 1.0 (fsum [ 1e16; 1.0; -1e16 ]);
+  feq "empty" 0.0 (fsum []);
+  feq "singleton" 3.5 (fsum [ 3.5 ]);
+  (* Ten times the double nearest 0.1 sums to exactly 1 + 2^-54, which
+     rounds to 1.0 — naive left-to-right addition lands one ulp short. *)
+  Alcotest.(check bool) "naive drifts" true
+    (List.fold_left ( +. ) 0.0 (List.init 10 (fun _ -> 0.1)) <> 1.0);
+  Alcotest.(check bool) "tenth times ten" true (fsum (List.init 10 (fun _ -> 0.1)) = 1.0)
+
+let test_fsum_rejects_non_finite () =
+  let f = Stats.Fsum.create () in
+  Alcotest.check_raises "nan" (Invalid_argument "Stats.Fsum.add: non-finite term") (fun () ->
+      Stats.Fsum.add f Float.nan);
+  Alcotest.check_raises "inf" (Invalid_argument "Stats.Fsum.add: non-finite term") (fun () ->
+      Stats.Fsum.add f Float.infinity)
+
+let prop_fsum_order_independent =
+  Tutil.qcheck ~count:500 "Fsum total is insertion-order independent" Tutil.seed_arb
+    (fun seed ->
+      let rng = Resa_core.Prng.create ~seed in
+      let n = Resa_core.Prng.int_incl rng ~lo:1 ~hi:200 in
+      (* Wildly mixed magnitudes to provoke rounding differences. *)
+      let xs =
+        Array.init n (fun _ ->
+            let mag = Resa_core.Prng.int_incl rng ~lo:(-30) ~hi:30 in
+            let sign = if Resa_core.Prng.bool rng then 1.0 else -1.0 in
+            sign *. Resa_core.Prng.float rng ~bound:1.0 *. (2.0 ** float_of_int mag))
+      in
+      let a = fsum (Array.to_list xs) in
+      Resa_core.Prng.shuffle rng xs;
+      let b = fsum (Array.to_list xs) in
+      Int64.bits_of_float a = Int64.bits_of_float b)
+
+let test_p2_exact_small () =
+  let p2 = Stats.P2.create ~q:0.5 in
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (Stats.P2.value p2));
+  List.iter (Stats.P2.add p2) [ 9.0; 1.0; 5.0 ];
+  feq "exact median of 3" 5.0 (Stats.P2.value p2);
+  Alcotest.(check int) "count" 3 (Stats.P2.count p2)
+
+let test_p2_rejects_bad_quantile () =
+  Alcotest.check_raises "q = 0" (Invalid_argument "Stats.P2.create: q must be in (0, 1)") (fun () ->
+      ignore (Stats.P2.create ~q:0.0));
+  Alcotest.check_raises "q = 1" (Invalid_argument "Stats.P2.create: q must be in (0, 1)") (fun () ->
+      ignore (Stats.P2.create ~q:1.0))
+
+let prop_p2_tracks_uniform =
+  Tutil.qcheck ~count:50 "P2 median of U[0,1) lands near 0.5" Tutil.seed_arb (fun seed ->
+      let rng = Resa_core.Prng.create ~seed in
+      let p2 = Stats.P2.create ~q:0.5 in
+      for _ = 1 to 5_000 do
+        Stats.P2.add p2 (Resa_core.Prng.float rng ~bound:1.0)
+      done;
+      Float.abs (Stats.P2.value p2 -. 0.5) < 0.05)
+
+let prop_p2_within_range =
+  Tutil.qcheck ~count:200 "P2 estimate stays inside the observed range" Tutil.seed_arb
+    (fun seed ->
+      let rng = Resa_core.Prng.create ~seed in
+      let qs = [| 0.1; 0.5; 0.95 |] in
+      let q = qs.(Resa_core.Prng.int rng ~bound:3) in
+      let p2 = Stats.P2.create ~q in
+      let lo = ref Float.infinity and hi = ref Float.neg_infinity in
+      let n = Resa_core.Prng.int_incl rng ~lo:1 ~hi:300 in
+      for _ = 1 to n do
+        let x = Resa_core.Prng.float rng ~bound:100.0 in
+        lo := Float.min !lo x;
+        hi := Float.max !hi x;
+        Stats.P2.add p2 x
+      done;
+      let v = Stats.P2.value p2 in
+      !lo <= v && v <= !hi)
+
 let suite =
   [
     Alcotest.test_case "mean and variance" `Quick test_mean_variance;
@@ -132,4 +214,11 @@ let suite =
     Alcotest.test_case "CSV escaping" `Quick test_table_csv;
     prop_mean_bounded;
     prop_histogram_conserves_count;
+    Alcotest.test_case "Fsum exact summation" `Quick test_fsum_exact;
+    Alcotest.test_case "Fsum rejects non-finite terms" `Quick test_fsum_rejects_non_finite;
+    prop_fsum_order_independent;
+    Alcotest.test_case "P2 exact below 5 samples" `Quick test_p2_exact_small;
+    Alcotest.test_case "P2 rejects degenerate quantiles" `Quick test_p2_rejects_bad_quantile;
+    prop_p2_tracks_uniform;
+    prop_p2_within_range;
   ]

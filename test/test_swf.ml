@@ -38,6 +38,45 @@ let test_parse_accepts_float_fields () =
   | Ok (Some e) -> Alcotest.(check int) "truncated" 12 e.Swf.avg_cpu
   | _ -> Alcotest.fail "float field rejected"
 
+let test_parse_crlf_line () =
+  (* Windows-edited archives carry \r\n; the trailing \r used to glue onto
+     the last field and break its numeric conversion. *)
+  match Swf.parse_line (sample_line ^ "\r") with
+  | Ok (Some e) ->
+    Alcotest.(check int) "last field survives CRLF" (-1) e.Swf.think_time;
+    Alcotest.(check int) "run" 100 e.Swf.run
+  | Ok None -> Alcotest.fail "entry expected"
+  | Error msg -> Alcotest.fail msg
+
+let test_parse_string_crlf () =
+  let text = "; header\r\n" ^ sample_line ^ "\r\n\r\n" ^ sample_line ^ "\r\n" in
+  match Swf.parse_string text with
+  | Ok entries -> Alcotest.(check int) "both entries parsed" 2 (List.length entries)
+  | Error msg -> Alcotest.fail msg
+
+let test_parse_ceils_float_durations () =
+  (* Archives report sub-second runtimes as floats. Truncation turned a
+     0.9-second job into run = 0 — a phantom that [keep] then dropped.
+     Durations must round up; the resource-usage fields still truncate. *)
+  match Swf.parse_line "1 0 5 0.9 8 12.7 -1 8 10.2 -1 1 3 1 1 1 1 -1 -1" with
+  | Ok (Some e) ->
+    Alcotest.(check int) "run ceiled" 1 e.Swf.run;
+    Alcotest.(check int) "req_time ceiled" 11 e.Swf.req_time;
+    Alcotest.(check int) "avg_cpu still truncates" 12 e.Swf.avg_cpu
+  | Ok None -> Alcotest.fail "entry expected"
+  | Error msg -> Alcotest.fail msg
+
+let test_job_numbers_map () =
+  let entry job_number status = { Swf.default with Swf.job_number; req_procs = 1; run = 5; status } in
+  let entries = [ entry 17 1; entry 23 0; entry 42 1 ] in
+  Alcotest.(check (array int)) "all kept" [| 17; 23; 42 |] (Swf.job_numbers entries);
+  Alcotest.(check (array int)) "failed dropped" [| 17; 42 |]
+    (Swf.job_numbers ~keep_failed:false entries);
+  (* The array aligns with the renumbered ids of [to_estimated_workload]. *)
+  let jobs = Swf.to_estimated_workload ~keep_failed:false entries ~m:4 in
+  Alcotest.(check (list int)) "ids are indices" [ 0; 1 ]
+    (List.map (fun (j, _, _) -> Job.id j) jobs)
+
 let test_parse_string_line_numbers () =
   let text = "; header\n" ^ sample_line ^ "\nbad line\n" in
   match Swf.parse_string text with
@@ -124,6 +163,10 @@ let suite =
     Alcotest.test_case "short lines rejected" `Quick test_parse_rejects_short_lines;
     Alcotest.test_case "non-numeric fields rejected" `Quick test_parse_rejects_garbage;
     Alcotest.test_case "float fields tolerated" `Quick test_parse_accepts_float_fields;
+    Alcotest.test_case "CRLF line endings tolerated" `Quick test_parse_crlf_line;
+    Alcotest.test_case "CRLF files parse whole" `Quick test_parse_string_crlf;
+    Alcotest.test_case "float durations round up" `Quick test_parse_ceils_float_durations;
+    Alcotest.test_case "job_numbers aligns with renumbered ids" `Quick test_job_numbers_map;
     Alcotest.test_case "errors cite line numbers" `Quick test_parse_string_line_numbers;
     Alcotest.test_case "writer/parser round trip" `Quick test_round_trip;
     Alcotest.test_case "to_workload clamps and falls back" `Quick test_to_workload_clamps;

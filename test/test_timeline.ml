@@ -280,6 +280,56 @@ let resa_instance_of_seed seed =
   done;
   Instance.create_exn ~m ~jobs ~reservations:!reservations
 
+(* --- history garbage collection ----------------------------------------- *)
+
+let test_gc_collapses_past () =
+  let tl = Timeline.of_profile (Profile.of_steps [ (0, 9); (2, 1); (5, 6); (40, 3) ]) in
+  Timeline.reserve tl ~start:50 ~dur:10 ~need:2;
+  let future_before = Timeline.to_profile ~from:6 tl in
+  let nodes_before = Timeline.node_count tl in
+  Timeline.gc tl ~upto:6;
+  (* Exact on [upto, ∞): the full rebuilt profile IS the collapsed view. *)
+  Alcotest.(check bool) "future preserved" true
+    (Profile.equal future_before (Timeline.to_profile tl));
+  Alcotest.(check int) "past is value_at upto" 6 (Timeline.value_at tl 0);
+  Alcotest.(check bool) "history freed" true (Timeline.node_count tl <= nodes_before);
+  (* The compacted timeline keeps working: mutations and queries as usual. *)
+  Timeline.reserve tl ~start:41 ~dur:4 ~need:1;
+  Alcotest.(check int) "post-gc reserve" 2 (Timeline.value_at tl 42);
+  Alcotest.(check (option int)) "post-gc earliest_fit" (Some 45)
+    (Timeline.earliest_fit tl ~from:41 ~dur:5 ~need:3)
+
+let test_gc_rejects () =
+  let tl = Timeline.create 4 in
+  Alcotest.check_raises "negative upto" (Invalid_argument "Timeline.gc: negative upto") (fun () ->
+      Timeline.gc tl ~upto:(-1));
+  let m = Timeline.checkpoint tl in
+  Alcotest.check_raises "outstanding checkpoint"
+    (Invalid_argument "Timeline.gc: checkpoint outstanding") (fun () -> Timeline.gc tl ~upto:3);
+  Timeline.rollback tl m;
+  Timeline.gc tl ~upto:3
+
+(* Randomized: after arbitrary mutations, gc at a random instant must agree
+   with the Profile collapse on the whole line and be invisible to every
+   future-window query. *)
+let gc_is_collapse seed =
+  let rng = Prng.create ~seed in
+  let tl = Timeline.of_profile (Tutil.profile_of_seed seed) in
+  for _ = 1 to 20 do
+    let lo = Prng.int rng ~bound:60 and len = Prng.int_incl rng ~lo:1 ~hi:25 in
+    Timeline.change tl ~lo ~hi:(lo + len) ~delta:(Prng.int_incl rng ~lo:(-5) ~hi:5)
+  done;
+  let upto = Prng.int rng ~bound:100 in
+  let collapsed = Timeline.to_profile ~from:upto tl in
+  Timeline.gc tl ~upto;
+  let ok = ref (Profile.equal collapsed (Timeline.to_profile tl)) in
+  for _ = 1 to 10 do
+    let lo = upto + Prng.int rng ~bound:40 in
+    let hi = lo + Prng.int_incl rng ~lo:1 ~hi:15 in
+    if Profile.min_on collapsed ~lo ~hi <> Timeline.min_on tl ~lo ~hi then ok := false
+  done;
+  !ok
+
 let starts inst sched = List.init (Instance.n_jobs inst) (Schedule.start sched)
 
 let same_schedule name fast reference seed =
@@ -302,6 +352,9 @@ let suite =
     Alcotest.test_case "rollback across tree growth" `Quick test_rollback_after_growth;
     Alcotest.test_case "nested speculation" `Quick test_nested_speculation;
     Alcotest.test_case "stale marks rejected" `Quick test_stale_marks_rejected;
+    Alcotest.test_case "gc collapses history, preserves the future" `Quick test_gc_collapses_past;
+    Alcotest.test_case "gc precondition checks" `Quick test_gc_rejects;
+    Tutil.qcheck ~count:500 "gc = to_profile ~from collapse" Tutil.seed_arb gc_is_collapse;
     Tutil.qcheck ~count:500 "nested speculation rolls back to identity" Tutil.seed_arb
       speculation_identity;
     Tutil.qcheck ~count:1000 "random op sequences match Profile" Tutil.seed_arb ops_agree;
