@@ -3,10 +3,13 @@
    environment variable), each perf experiment also writes
    BENCH_<experiment>.json: a JSON array of uniform records
 
-     {experiment, n, algo, wall_s, speedup, domains, seed, git_rev}
+     {experiment, n, algo, wall_s, speedup, domains, seed, git_rev, ts, host}
 
    so future PRs can diff wall-clock numbers against a recorded
-   baseline instead of eyeballing table output. *)
+   baseline instead of eyeballing table output (`resa benchdiff`). [ts]
+   is the ISO-8601 UTC instant and [host] the machine the row was
+   measured on — provenance for judging whether two trajectories are
+   comparable at all. *)
 
 type record = {
   experiment : string;
@@ -41,14 +44,22 @@ let escape s =
     s;
   Buffer.contents b
 
-let record_to_json r =
+let iso8601_utc () =
+  let t = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900) (t.Unix.tm_mon + 1)
+    t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec
+
+let hostname () = try Unix.gethostname () with Unix.Unix_error _ -> "unknown"
+
+let record_to_json ~ts ~host r =
   Printf.sprintf
     "{\"experiment\": \"%s\", \"n\": %d, \"algo\": \"%s\", \"wall_s\": %.6f, \"speedup\": %s, \
-     \"domains\": %d, \"seed\": %d, \"git_rev\": \"%s\"}"
+     \"domains\": %d, \"seed\": %d, \"git_rev\": \"%s\", \"ts\": \"%s\", \"host\": \"%s\"}"
     (escape r.experiment) r.n (escape r.algo) r.wall_s
     (match r.speedup with None -> "null" | Some s -> Printf.sprintf "%.3f" s)
     r.domains r.seed
     (escape (Git_rev.short ()))
+    (escape ts) (escape host)
 
 let write experiment records =
   match dir () with
@@ -56,13 +67,16 @@ let write experiment records =
   | Some d ->
     if not (Sys.file_exists d) then Sys.mkdir d 0o755;
     let path = Filename.concat d (Printf.sprintf "BENCH_%s.json" experiment) in
+    (* One stamp per file: all rows of an experiment come from the same
+       harness invocation. *)
+    let ts = iso8601_utc () and host = hostname () in
     Out_channel.with_open_text path (fun oc ->
         Out_channel.output_string oc "[\n";
         List.iteri
           (fun i r ->
             if i > 0 then Out_channel.output_string oc ",\n";
             Out_channel.output_string oc "  ";
-            Out_channel.output_string oc (record_to_json r))
+            Out_channel.output_string oc (record_to_json ~ts ~host r))
           records;
         Out_channel.output_string oc "\n]\n");
     Printf.printf "[bench json written to %s]\n" path

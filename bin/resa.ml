@@ -8,6 +8,8 @@
      replay     constant-memory streaming replay of a (synthetic or SWF)
                 trace: incremental metrics, timeline history GC, flat RSS
      explain    replay a JSONL event trace: per job, why it started when it did
+     top        live terminal view of a heartbeat stream (replay --heartbeat)
+     benchdiff  regression gate over two bench trajectory JSON files
      trace      emit a synthetic Standard Workload Format trace
      bounds     print the Figure 4 bound curves for a list of alphas
      info       summarise an instance file (bounds, alpha interval, profile)
@@ -244,10 +246,7 @@ let simulate swf_path m n max_runtime mean_gap seed policy_name overestimate job
   Option.iter
     (fun path ->
       Out_channel.with_open_text path (fun oc ->
-          List.iter
-            (fun (name, _, _, obs) ->
-              Resa_obs.Trace.write_jsonl ~run:name oc (Resa_obs.Trace.contents obs))
-            results))
+          List.iter (fun (name, _, _, obs) -> Resa_obs.Trace.flush_jsonl ~run:name oc obs) results))
     trace_out;
   Option.iter
     (fun path ->
@@ -340,7 +339,11 @@ let simulate_cmd =
 (* replay                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let replay swf_path m n max_runtime mean_gap seed policy_name overestimate gc_every =
+let replay swf_path m n max_runtime mean_gap seed policy_name overestimate gc_every
+    heartbeat_out hb_every hb_dt prom_out metrics_on =
+  (* --prom needs the registry populated; --metrics asks for it explicitly
+     (same switch as RESA_METRICS=1). *)
+  if metrics_on || prom_out <> None then Resa_obs.Metrics.enable ();
   let policies =
     let open Resa_sim.Policy in
     match String.lowercase_ascii policy_name with
@@ -365,44 +368,86 @@ let replay swf_path m n max_runtime mean_gap seed policy_name overestimate gc_ev
       let rng = Prng.create ~seed in
       k (Resa_swf.Swf_stream.synthetic ~overestimate rng ~m ~n ~max_runtime ~mean_gap)
   in
-  Printf.printf "%-8s %9s %10s %10s %9s %9s %7s %6s %8s %9s %8s %8s\n" "policy" "jobs" "Cmax"
-    "mean_wait" "p50_wait" "p95_wait" "slowdn" "util" "wall_s" "jobs/s" "max_live" "rss_MB";
-  List.iter
-    (fun policy ->
-      let ms = Resa_sim.Metrics.Stream.create ~m ~reservations:[] () in
-      let t0 = Resa_obs.Prof.now_ns () in
-      let stats =
-        try
-          with_stream (fun src ->
-              Resa_sim.Simulator.run_stream ~gc_every
-                ~on_record:(Resa_sim.Metrics.Stream.observe ms)
-                ~policy ~m
-                (fun () ->
-                  Option.map
-                    (fun (a : Resa_swf.Swf_stream.arrival) ->
-                      Resa_sim.Simulator.
-                        { job = a.job; submit = a.submit; estimate = a.estimate })
-                    (src ())))
-        with Resa_swf.Swf_stream.Parse_error { line; msg } ->
-          Printf.eprintf "error: line %d: %s\n" line msg;
-          exit 2
-      in
-      let wall_s = float_of_int (Resa_obs.Prof.now_ns () - t0) /. 1e9 in
-      let s = Resa_sim.Metrics.Stream.summary ms in
-      let rss_mb =
-        match Resa_obs.Prof.peak_rss_kb () with
-        | Some kb -> Printf.sprintf "%.1f" (float_of_int kb /. 1024.)
-        | None -> "-"
-      in
-      Printf.printf "%-8s %9d %10d %10.1f %9.0f %9.0f %7.2f %6.3f %8.2f %9.0f %8d %8s\n"
-        policy.Resa_sim.Policy.name stats.Resa_sim.Simulator.jobs
-        stats.Resa_sim.Simulator.makespan s.Resa_sim.Metrics.mean_wait
-        (Resa_sim.Metrics.Stream.wait_p50 ms)
-        (Resa_sim.Metrics.Stream.wait_p95 ms)
-        s.Resa_sim.Metrics.mean_slowdown s.Resa_sim.Metrics.utilization wall_s
-        (float_of_int stats.Resa_sim.Simulator.jobs /. Float.max wall_s 1e-9)
-        stats.Resa_sim.Simulator.max_live rss_mb)
-    policies
+  (* Heartbeat sink: one JSONL file shared by all runs (run-tagged rows,
+     like --trace); each line is flushed immediately so `resa top` can
+     follow the stream through a pipe while the replay runs. *)
+  let with_hb_channel k =
+    match heartbeat_out with
+    | None -> k None
+    | Some "-" -> k (Some stdout)
+    | Some path -> Out_channel.with_open_text path (fun oc -> k (Some oc))
+  in
+  with_hb_channel (fun hb_oc ->
+      Printf.printf "%-8s %9s %10s %10s %9s %9s %7s %6s %8s %9s %8s %8s\n" "policy" "jobs" "Cmax"
+        "mean_wait" "p50_wait" "p95_wait" "slowdn" "util" "wall_s" "jobs/s" "max_live" "rss_MB";
+      List.iter
+        (fun policy ->
+          let ms = Resa_sim.Metrics.Stream.create ~m ~reservations:[] () in
+          let t0 = Resa_obs.Prof.now_ns () in
+          let on_heartbeat =
+            Option.map
+              (fun oc hb ->
+                let elapsed_s = float_of_int (Resa_obs.Prof.now_ns () - t0) /. 1e9 in
+                let wall =
+                  Resa_sim.Heartbeat.
+                    {
+                      elapsed_s;
+                      jobs_per_s =
+                        float_of_int hb.Resa_sim.Simulator.hb_completed
+                        /. Float.max elapsed_s 1e-9;
+                      rss_mb =
+                        Option.map
+                          (fun kb -> float_of_int kb /. 1024.)
+                          (Resa_obs.Prof.peak_rss_kb ());
+                      wall_metrics = [];
+                    }
+                in
+                Resa_sim.Heartbeat.write oc
+                  (Resa_sim.Heartbeat.make ~run:policy.Resa_sim.Policy.name ~stream:ms
+                     ~registry:true ~wall hb);
+                flush oc)
+              hb_oc
+          in
+          let stats =
+            try
+              with_stream (fun src ->
+                  Resa_sim.Simulator.run_stream ~gc_every ~heartbeat_every:hb_every
+                    ~heartbeat_dt:hb_dt ?on_heartbeat
+                    ~on_record:(Resa_sim.Metrics.Stream.observe ms)
+                    ~policy ~m
+                    (fun () ->
+                      Option.map
+                        (fun (a : Resa_swf.Swf_stream.arrival) ->
+                          Resa_sim.Simulator.
+                            { job = a.job; submit = a.submit; estimate = a.estimate })
+                        (src ())))
+            with Resa_swf.Swf_stream.Parse_error { line; msg } ->
+              Printf.eprintf "error: line %d: %s\n" line msg;
+              exit 2
+          in
+          let wall_s = float_of_int (Resa_obs.Prof.now_ns () - t0) /. 1e9 in
+          let s = Resa_sim.Metrics.Stream.summary ms in
+          let rss_mb =
+            match Resa_obs.Prof.peak_rss_kb () with
+            | Some kb -> Printf.sprintf "%.1f" (float_of_int kb /. 1024.)
+            | None -> "-"
+          in
+          Printf.printf "%-8s %9d %10d %10.1f %9.0f %9.0f %7.2f %6.3f %8.2f %9.0f %8d %8s\n"
+            policy.Resa_sim.Policy.name stats.Resa_sim.Simulator.jobs
+            stats.Resa_sim.Simulator.makespan s.Resa_sim.Metrics.mean_wait
+            (Resa_sim.Metrics.Stream.wait_p50 ms)
+            (Resa_sim.Metrics.Stream.wait_p95 ms)
+            s.Resa_sim.Metrics.mean_slowdown s.Resa_sim.Metrics.utilization wall_s
+            (float_of_int stats.Resa_sim.Simulator.jobs /. Float.max wall_s 1e-9)
+            stats.Resa_sim.Simulator.max_live rss_mb)
+        policies);
+  (* The registry is process-global and cumulative across the sequential
+     runs, like Prof counters: the exposition describes the whole replay. *)
+  Option.iter
+    (fun path ->
+      if path = "-" then print_string (Resa_obs.Metrics.expose ())
+      else Out_channel.with_open_text path (fun oc -> output_string oc (Resa_obs.Metrics.expose ())))
+    prom_out
 
 let replay_cmd =
   let swf =
@@ -443,6 +488,48 @@ let replay_cmd =
             "Compact the capacity timeline every $(docv) job completions (0 disables); \
              compaction is invisible to scheduling decisions.")
   in
+  let heartbeat_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "heartbeat" ] ~docv:"FILE"
+          ~doc:
+            "Write periodic telemetry snapshots (JSONL, one run-tagged row per interval: jobs, \
+             queue depth, live jobs, P² wait quantiles, timeline nodes, wall-clock rate and \
+             RSS) to $(docv) ('-' for stdout). Each line is flushed immediately, so \
+             $(b,resa top) can follow the file or a pipe live.")
+  in
+  let hb_every =
+    Arg.(
+      value & opt int 0
+      & info [ "heartbeat-every" ] ~docv:"K"
+          ~doc:
+            "Snapshot every $(docv) events (arrivals + completions). Default with --heartbeat \
+             and no cadence: 65536.")
+  in
+  let hb_dt =
+    Arg.(
+      value & opt int 0
+      & info [ "heartbeat-dt" ] ~docv:"T"
+          ~doc:"Snapshot every $(docv) simulation time units (0 disables the time cadence).")
+  in
+  let prom_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:
+            "After the replay, write the metrics registry as a Prometheus text exposition to \
+             $(docv) ('-' for stdout). Implies --metrics.")
+  in
+  let metrics_on =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Enable the typed metrics registry for this run (same switch as \
+             $(b,RESA_METRICS=1)); heartbeat rows then carry the registry section.")
+  in
   Cmd.v
     (Cmd.info "replay"
        ~doc:
@@ -450,7 +537,7 @@ let replay_cmd =
           no materialised job list, timeline history GC")
     Term.(
       const replay $ swf $ m $ n $ max_runtime $ mean_gap $ seed_arg $ policy $ overestimate
-      $ gc_every)
+      $ gc_every $ heartbeat_out $ hb_every $ hb_dt $ prom_out $ metrics_on)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
@@ -492,6 +579,176 @@ let explain_cmd =
     (Cmd.info "explain"
        ~doc:"Replay a JSONL event trace and print, per job, why it started when it did")
     Term.(const explain $ path)
+
+(* ------------------------------------------------------------------ *)
+(* top                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Live terminal view of a heartbeat stream. Reads rows as they arrive
+   (a pipe from `resa replay --heartbeat -`, or a file being appended
+   to), keeps the latest row plus short rate/occupancy histories per run,
+   and redraws on every row when stdout is a terminal. On a non-terminal
+   stdout it stays quiet and prints one final dashboard at end of
+   stream, so `resa top < hb.jsonl` doubles as a summariser. *)
+
+let top path =
+  let ic =
+    if path = "-" then stdin
+    else
+      try open_in path
+      with Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+  in
+  let module H = Resa_sim.Heartbeat in
+  let hist_cap = 48 in
+  let runs : (string, H.row * float list * float list) Hashtbl.t = Hashtbl.create 4 in
+  let order = ref [] in
+  let malformed = ref 0 in
+  let observe (r : H.row) =
+    let name = Option.value r.H.run ~default:"run" in
+    let _, rates, lives =
+      match Hashtbl.find_opt runs name with
+      | Some s -> s
+      | None ->
+        order := name :: !order;
+        (r, [], [])
+    in
+    let push v l = if List.length l >= hist_cap then v :: List.filteri (fun i _ -> i < hist_cap - 1) l else v :: l in
+    let rate = match r.H.wall with Some w -> w.H.jobs_per_s | None -> Float.nan in
+    Hashtbl.replace runs name
+      (r, push rate rates, push (float_of_int r.H.hb.Resa_sim.Simulator.hb_live) lives)
+  in
+  let render () =
+    let b = Buffer.create 1024 in
+    List.iter
+      (fun name ->
+        let r, rates, lives = Hashtbl.find runs name in
+        let hb = r.H.hb in
+        let open Resa_sim.Simulator in
+        Buffer.add_string b
+          (Printf.sprintf "== %s ==  snapshot %d  t=%d  events=%d\n" name hb.hb_seq hb.hb_time
+             hb.hb_events);
+        Buffer.add_string b
+          (Printf.sprintf "  jobs: %d admitted, %d completed, %d queued, %d live\n" hb.hb_admitted
+             hb.hb_completed hb.hb_queued hb.hb_live);
+        Buffer.add_string b
+          (Printf.sprintf "  timeline: %d nodes, makespan %d\n" hb.hb_nodes hb.hb_makespan);
+        let f v = if Float.is_finite v then Printf.sprintf "%.1f" v else "-" in
+        Buffer.add_string b
+          (Printf.sprintf "  wait: p50 %s  p95 %s  util %s\n" (f r.H.wait_p50) (f r.H.wait_p95)
+             (f r.H.utilization));
+        (match r.H.wall with
+        | Some w ->
+          Buffer.add_string b
+            (Printf.sprintf "  wall: %.1fs  %.0f jobs/s  rss %s MB\n" w.H.elapsed_s w.H.jobs_per_s
+               (match w.H.rss_mb with Some v -> Printf.sprintf "%.1f" v | None -> "-"))
+        | None -> ());
+        let spark label xs =
+          if List.exists Float.is_finite xs then
+            Buffer.add_string b
+              (Printf.sprintf "  %-7s %s\n" label
+                 (Resa_stats.Stats.sparkline ~width:hist_cap (List.rev xs)))
+        in
+        spark "live" lives;
+        spark "jobs/s" rates)
+      (List.rev !order);
+    if !malformed > 0 then
+      Buffer.add_string b (Printf.sprintf "(%d malformed line%s skipped)\n" !malformed
+        (if !malformed = 1 then "" else "s"));
+    Buffer.contents b
+  in
+  let tty = Unix.isatty Unix.stdout in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         (match H.parse_line line with
+         | Ok row -> observe row
+         | Error _ -> incr malformed);
+         if tty then begin
+           (* Home + clear-to-end: flicker-free redraw. *)
+           print_string "\027[H\027[J";
+           print_string (render ());
+           flush stdout
+         end
+       end
+     done
+   with End_of_file -> ());
+  if path <> "-" then close_in ic;
+  if not tty then print_string (render ())
+
+let top_cmd =
+  let path =
+    Arg.(
+      value
+      & pos 0 string "-"
+      & info [] ~docv:"FILE"
+          ~doc:"Heartbeat JSONL stream from replay --heartbeat ('-' for stdin).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal view of a heartbeat stream: per-run job counts, queue depth, wait \
+          quantiles, timeline health and rate/occupancy sparklines")
+    Term.(const top $ path)
+
+(* ------------------------------------------------------------------ *)
+(* benchdiff                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let benchdiff old_path new_path threshold min_wall warn_only =
+  let read path =
+    let contents =
+      if path = "-" then In_channel.input_all stdin
+      else
+        match In_channel.with_open_text path In_channel.input_all with
+        | s -> s
+        | exception Sys_error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 2
+    in
+    match Resa_obs.Benchdiff.rows_of_string contents with
+    | Ok rows -> rows
+    | Error msg ->
+      Printf.eprintf "error: %s: %s\n" path msg;
+      exit 2
+  in
+  let old_rows = read old_path in
+  let new_rows = read new_path in
+  let report = Resa_obs.Benchdiff.compare_rows ~threshold ~min_wall ~old_rows ~new_rows () in
+  print_string (Resa_obs.Benchdiff.render report);
+  if report.Resa_obs.Benchdiff.regressions > 0 then
+    if warn_only then print_endline "benchdiff: regressions found (warn-only, not failing)"
+    else exit 1
+
+let benchdiff_cmd =
+  let old_path = Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD" ~doc:"Baseline BENCH_*.json trajectory.") in
+  let new_path = Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW" ~doc:"Candidate BENCH_*.json trajectory.") in
+  let threshold =
+    Arg.(
+      value & opt float 1.10
+      & info [ "threshold" ] ~docv:"R"
+          ~doc:"Flag pairs whose new/old wall ratio exceeds $(docv) (must be > 1).")
+  in
+  let min_wall =
+    Arg.(
+      value & opt float 0.05
+      & info [ "min-wall" ] ~docv:"S"
+          ~doc:"Timer noise floor: pairs under $(docv) seconds in both files never gate.")
+  in
+  let warn_only =
+    Arg.(
+      value & flag
+      & info [ "warn-only" ]
+          ~doc:"Report regressions but exit 0 — for advisory CI gates on noisy runners.")
+  in
+  Cmd.v
+    (Cmd.info "benchdiff"
+       ~doc:
+         "Compare two bench trajectory JSON files row-by-row and exit non-zero on relative \
+          slowdowns past the threshold")
+    Term.(const benchdiff $ old_path $ new_path $ threshold $ min_wall $ warn_only)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -581,6 +838,8 @@ let () =
             simulate_cmd;
             replay_cmd;
             explain_cmd;
+            top_cmd;
+            benchdiff_cmd;
             trace_cmd;
             bounds_cmd;
             info_cmd;

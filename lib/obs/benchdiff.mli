@@ -1,0 +1,61 @@
+(** Bench-trajectory regression gate.
+
+    Compares two [BENCH_*.json] trajectory files (the uniform records the
+    bench harness emits) row-by-row: rows pair up on their
+    [(experiment, n, algo, domains, seed)] key, duplicate keys within one
+    file collapse to the minimum wall time, and each pair's [new/old]
+    ratio is judged against a relative-slowdown threshold. Memory rows
+    ([algo] under the ["rss_mb:"] prefix) are informational, and pairs
+    under the noise floor in both files never gate. [resa benchdiff] is
+    the CLI around this module; the report's regression count is its exit
+    status. *)
+
+type row = {
+  experiment : string;
+  n : int;
+  algo : string;
+  wall_s : float;
+  domains : int;
+  seed : int;
+  git_rev : string;
+  ts : string option;  (** ISO-8601 UTC stamp, when the file carries one. *)
+  host : string option;
+}
+
+val rows_of_json : Jsonu.t -> (row list, string) result
+val rows_of_string : string -> (row list, string) result
+
+type verdict =
+  | Regression  (** ratio above the threshold — gates. *)
+  | Improvement  (** ratio below [1/threshold]. *)
+  | Within
+  | Info  (** memory row, never gates. *)
+  | Noise  (** both walls under [min_wall], never gates. *)
+
+type comparison = {
+  ckey : string;
+  old_wall : float;
+  new_wall : float;
+  ratio : float;
+  verdict : verdict;
+}
+
+type report = {
+  threshold : float;
+  min_wall : float;
+  comparisons : comparison list;  (** Sorted ratio-descending. *)
+  only_old : string list;
+  only_new : string list;
+  regressions : int;
+  improvements : int;
+  old_stamp : string;  (** [ts host git_rev] of the file's first row. *)
+  new_stamp : string;
+}
+
+val compare_rows :
+  ?threshold:float -> ?min_wall:float -> old_rows:row list -> new_rows:row list -> unit -> report
+(** [threshold] (default [1.10]) must be [> 1]; [min_wall] (default
+    [0.05] s) is the timer noise floor. *)
+
+val render : report -> string
+(** Human-readable table with a trailing regression/improvement count. *)

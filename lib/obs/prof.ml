@@ -99,23 +99,46 @@ let spans () =
 
 (* --- executor busy time ------------------------------------------------- *)
 
-(* Busy nanoseconds per domain, indexed by [id land mask]. Domain ids grow
-   monotonically over the process lifetime (pools respawn), so slots can
-   alias after many respawns; this is profiling data, not accounting. *)
-let busy_slots = 256
-let busy = Array.init busy_slots (fun _ -> Atomic.make 0)
+(* Busy nanoseconds keyed by the *real* domain id. Domain ids grow
+   monotonically over the process lifetime (pools respawn), so a fixed
+   modulo table would silently merge distinct domains once ids wrap its
+   size; instead the table grows on demand. The hot path is lock-free: one
+   atomic array load plus an indexed fetch-and-add. Growth copies the cell
+   *references* into a larger array under a mutex and publishes it with a
+   single atomic store, so adds racing a growth land in cells both arrays
+   share — no accounting is lost. *)
+let busy_mutex = Mutex.create ()
+let busy = Atomic.make (Array.init 256 (fun _ -> Atomic.make 0))
 
-let add_busy ns =
-  if !flag then begin
-    let slot = (Domain.self () :> int) land (busy_slots - 1) in
-    ignore (Atomic.fetch_and_add busy.(slot) ns)
+let rec busy_cell id =
+  let arr = Atomic.get busy in
+  if id < Array.length arr then arr.(id)
+  else begin
+    Mutex.lock busy_mutex;
+    let arr = Atomic.get busy in
+    if id >= Array.length arr then begin
+      let len = ref (Array.length arr) in
+      while id >= !len do
+        len := 2 * !len
+      done;
+      let b =
+        Array.init !len (fun i -> if i < Array.length arr then arr.(i) else Atomic.make 0)
+      in
+      Atomic.set busy b
+    end;
+    Mutex.unlock busy_mutex;
+    busy_cell id
   end
 
+let add_busy ns =
+  if !flag then ignore (Atomic.fetch_and_add (busy_cell (Domain.self () :> int)) ns)
+
 let busy_ns () =
+  let arr = Atomic.get busy in
   let acc = ref [] in
-  for slot = busy_slots - 1 downto 0 do
-    let v = Atomic.get busy.(slot) in
-    if v > 0 then acc := (slot, v) :: !acc
+  for id = Array.length arr - 1 downto 0 do
+    let v = Atomic.get arr.(id) in
+    if v > 0 then acc := (id, v) :: !acc
   done;
   !acc
 
@@ -128,7 +151,7 @@ let reset () =
   Mutex.lock spans_mutex;
   spans_store := [];
   Mutex.unlock spans_mutex;
-  Array.iter (fun a -> Atomic.set a 0) busy
+  Array.iter (fun a -> Atomic.set a 0) (Atomic.get busy)
 
 (* --- process memory ------------------------------------------------------ *)
 

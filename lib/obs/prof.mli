@@ -46,8 +46,10 @@ val add_busy : int -> unit
     accounting). No-op when disabled. *)
 
 val busy_ns : unit -> (int * int) list
-(** Per-domain-slot busy nanoseconds accumulated so far (slot = domain id
-    modulo an internal table size), ascending slots, zero slots omitted. *)
+(** Per-domain busy nanoseconds accumulated so far, keyed by the real
+    domain id (the table grows on demand, so distinct domains never merge
+    however many pools the process has spawned), ascending ids, zero
+    entries omitted. *)
 
 val reset : unit -> unit
 (** Zero all counters and busy accumulators, drop all spans. *)

@@ -56,6 +56,10 @@ type event =
   | Resv_accept of { resv : int; start : int; p : int; q : int }
   | Resv_reject of { start : int; p : int; q : int; reason : string }
   | Sim_wake of { time : int; forced : bool }
+  | Truncated of { dropped : int }
+      (* A bounded sink overflowed: [dropped] older events are missing
+         before this point. Emitted by flush paths, never by the
+         simulator. *)
 
 (* --- sinks -------------------------------------------------------------- *)
 
@@ -112,6 +116,7 @@ let to_json ?run ev =
       ]
     | Sim_wake { time; forced } ->
       [ ("ev", Str "sim_wake"); ("t", i time); ("forced", Bool forced) ]
+    | Truncated { dropped } -> [ ("ev", Str "truncated"); ("dropped", i dropped) ]
   in
   let fields = match run with None -> fields | Some r -> ("run", Str r) :: fields in
   Jsonu.to_string (Obj fields)
@@ -178,6 +183,9 @@ let of_json j =
       let* time = int "t" in
       let* forced = (match Jsonu.member "forced" j with Some (Jsonu.Bool b) -> Some b | _ -> None) in
       Some (Sim_wake { time; forced })
+    | "truncated" ->
+      let* dropped = int "dropped" in
+      Some (Truncated { dropped })
     | _ -> None
   in
   match ev with
@@ -213,12 +221,21 @@ let contents = function
 
 let dropped = function Null | File _ -> 0 | Ring r -> r.dropped
 
-let write_jsonl ?run oc events =
+let write_jsonl ?run ?(dropped = 0) oc events =
   List.iter
     (fun ev ->
       output_string oc (to_json ?run ev);
       output_char oc '\n')
-    events
+    events;
+  (* Truncation is data, not a log line: a trailing summary event makes
+     the gap visible to every consumer of the file (resa explain warns on
+     it) instead of silently shipping an incomplete stream. *)
+  if dropped > 0 then begin
+    output_string oc (to_json ?run (Truncated { dropped }));
+    output_char oc '\n'
+  end
+
+let flush_jsonl ?run oc t = write_jsonl ?run ~dropped:(dropped t) oc (contents t)
 
 (* --- derived views ------------------------------------------------------ *)
 

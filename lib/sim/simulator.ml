@@ -1,6 +1,7 @@
 open Resa_core
 module Trace = Resa_obs.Trace
 module Prof = Resa_obs.Prof
+module Metrics = Resa_obs.Metrics
 
 type submitted = { job : Job.t; submit : int }
 
@@ -17,7 +18,39 @@ type trace = {
 
 type stream_stats = { jobs : int; makespan : int; max_queued : int; max_live : int }
 
+type heartbeat = {
+  hb_seq : int;
+  hb_time : int;
+  hb_events : int;
+  hb_admitted : int;
+  hb_completed : int;
+  hb_queued : int;
+  hb_live : int;
+  hb_makespan : int;
+  hb_nodes : int;
+}
+
 exception Policy_error of string
+
+(* Registry instruments for the always-on telemetry surface. All sites are
+   flag-gated inside [Metrics] (one load + branch when disabled); values
+   derived from simulation data are deterministic, the decision-latency
+   histogram is wall-clock and therefore lives under the reserved "wall."
+   prefix (see Resa_obs.Metrics). *)
+let m_admitted = Metrics.counter "sim.jobs_admitted"
+let m_completed = Metrics.counter "sim.jobs_completed"
+let m_started = Metrics.counter "sim.jobs_started"
+let m_decisions = Metrics.counter "sim.decisions"
+let m_checkpoints = Metrics.counter "sim.checkpoints"
+let m_rollbacks = Metrics.counter "sim.rollbacks"
+let m_gc_runs = Metrics.counter "sim.gc_runs"
+let m_gc_reclaimed = Metrics.counter "sim.gc_reclaimed_nodes"
+let m_heartbeats = Metrics.counter "sim.heartbeats"
+let m_wait = Metrics.histogram "sim.wait"
+let m_queue_depth = Metrics.gauge "sim.queue_depth"
+let m_live_jobs = Metrics.gauge "sim.live_jobs"
+let m_nodes = Metrics.gauge "sim.timeline_nodes"
+let m_decide_ns = Metrics.histogram "wall.decide_ns"
 
 type event =
   | Completion of int (* job id *)
@@ -35,7 +68,8 @@ type live = { ljob : Job.t; lsubmit : int; lest : int; mutable lstart : int }
    lowest heap sequence numbers and therefore popped first), then heap
    events in push order — so traces are byte-identical across the two entry
    points (enforced by test/test_stream.ml). *)
-let run_core ~obs ~policy ~m ~reservations ~gc_every ~on_record (next : unit -> arrival option) =
+let run_core ~obs ~policy ~m ~reservations ~gc_every ~hb_every ~hb_dt ~on_heartbeat ~on_record
+    (next : unit -> arrival option) =
   (* Instance construction validates the machine and the reservation set. *)
   let base = Instance.create_exn ~m ~jobs:[] ~reservations in
   let tracing = Trace.enabled obs in
@@ -67,6 +101,38 @@ let run_core ~obs ~policy ~m ~reservations ~gc_every ~on_record (next : unit -> 
   let n_jobs = ref 0 and makespan = ref 0 in
   let max_queued = ref 0 and max_live = ref 0 in
   let completions = ref 0 in
+  (* Arrivals admitted + completions drained: the heartbeat sampler's event
+     clock. Pure simulation data, so heartbeat cadence is deterministic. *)
+  let events_seen = ref 0 in
+  let hb_seq = ref 0 and hb_last_ev = ref 0 and hb_last_t = ref 0 in
+  let emit_heartbeat t =
+    match on_heartbeat with
+    | None -> ()
+    | Some f ->
+      hb_seq := !hb_seq + 1;
+      Metrics.incr m_heartbeats;
+      Metrics.set m_live_jobs (Hashtbl.length live);
+      Metrics.set m_nodes (Timeline.node_count free);
+      f
+        {
+          hb_seq = !hb_seq;
+          hb_time = t;
+          hb_events = !events_seen;
+          hb_admitted = !n_jobs;
+          hb_completed = !completions;
+          hb_queued = Jobq.length queue;
+          hb_live = Hashtbl.length live;
+          hb_makespan = !makespan;
+          hb_nodes = Timeline.node_count free;
+        };
+      hb_last_ev := !events_seen;
+      hb_last_t := t
+  in
+  let heartbeat_due t =
+    on_heartbeat <> None
+    && ((hb_every > 0 && !events_seen - !hb_last_ev >= hb_every)
+       || (hb_dt > 0 && t - !hb_last_t >= hb_dt))
+  in
   let last_submit = ref 0 in
   let ahead = ref None in
   let peek_arrival () =
@@ -92,6 +158,8 @@ let run_core ~obs ~policy ~m ~reservations ~gc_every ~on_record (next : unit -> 
     if Hashtbl.mem live id then invalid_arg "Simulator.run_stream: duplicate live job id";
     Hashtbl.replace live id { ljob = a.job; lsubmit = a.submit; lest = a.estimate; lstart = -1 };
     incr n_jobs;
+    incr events_seen;
+    Metrics.incr m_admitted;
     if Hashtbl.length live > !max_live then max_live := Hashtbl.length live;
     (* Policies see the *estimated* job. *)
     Jobq.append queue (Job.make ~id ~p:a.estimate ~q:(Job.q a.job));
@@ -120,9 +188,19 @@ let run_core ~obs ~policy ~m ~reservations ~gc_every ~on_record (next : unit -> 
           release_tail id t;
           Hashtbl.remove live id;
           incr completions;
+          incr events_seen;
+          Metrics.incr m_completed;
           (* Outside any decision checkpoint, with every future query at or
              after [t]: the history left of now is dead weight. *)
-          if gc_every > 0 && !completions mod gc_every = 0 then Timeline.gc free ~upto:t;
+          if gc_every > 0 && !completions mod gc_every = 0 then begin
+            if Metrics.enabled () then begin
+              let before = Timeline.node_count free in
+              Timeline.gc free ~upto:t;
+              Metrics.incr m_gc_runs;
+              Metrics.add m_gc_reclaimed (max 0 (before - Timeline.node_count free))
+            end
+            else Timeline.gc free ~upto:t
+          end;
           if tracing then Trace.emit obs (Trace.Job_finish { time = t; job = id })
         | Some (_, Wake) | None -> ());
         drain t
@@ -140,6 +218,8 @@ let run_core ~obs ~policy ~m ~reservations ~gc_every ~on_record (next : unit -> 
               policy.Policy.name Job.pp j t t (t + est) (Job.q j) have));
     Timeline.reserve free ~start:t ~dur:est ~need:(Job.q j);
     l.lstart <- t;
+    Metrics.incr m_started;
+    Metrics.observe m_wait (t - l.lsubmit);
     forced := false;
     let finish = t + Job.p l.ljob in
     if finish > !makespan then makespan := finish;
@@ -179,9 +259,17 @@ let run_core ~obs ~policy ~m ~reservations ~gc_every ~on_record (next : unit -> 
       last_t := t;
       let q_now = Jobq.view queue in
       View.set_now view t;
+      let t_decide = if Metrics.enabled () then Prof.now_ns () else 0 in
       let spec = Timeline.checkpoint free in
       let action = decide ~time:t ~queue:q_now ~free:view in
       Timeline.rollback free spec;
+      Metrics.incr m_decisions;
+      Metrics.incr m_checkpoints;
+      Metrics.incr m_rollbacks;
+      if Metrics.enabled () then begin
+        Metrics.observe m_decide_ns (Prof.now_ns () - t_decide);
+        Metrics.set m_queue_depth (Jobq.length queue)
+      end;
       let start_now = action.Policy.start_now and wake = action.Policy.wake in
       (* Validate starts against the id set — O(1) per started job. A started
          id must be queued and not already started this decision. *)
@@ -284,15 +372,29 @@ let run_core ~obs ~policy ~m ~reservations ~gc_every ~on_record (next : unit -> 
       (match wake with
       | Some w when w > t -> Event_heap.push events ~time:w Wake
       | Some _ | None -> ());
+      if heartbeat_due t then emit_heartbeat t;
       loop ()
   in
   Prof.with_span ~cat:"sim" ("simulate/" ^ policy.Policy.name) loop;
+  (* One closing snapshot so the stream always ends on the final state,
+     whatever the cadence (also the only row on short runs). *)
+  if on_heartbeat <> None then emit_heartbeat (max !last_t !makespan);
   { jobs = !n_jobs; makespan = !makespan; max_queued = !max_queued; max_live = !max_live }
 
-let run_stream ?(obs = Trace.null) ?(gc_every = 0) ?(on_record = fun (_ : record) -> ())
-    ~policy ~m ?(reservations = []) next =
+let run_stream ?(obs = Trace.null) ?(gc_every = 0) ?(heartbeat_every = 0) ?(heartbeat_dt = 0)
+    ?on_heartbeat ?(on_record = fun (_ : record) -> ()) ~policy ~m ?(reservations = []) next =
   if gc_every < 0 then invalid_arg "Simulator.run_stream: negative gc_every";
-  run_core ~obs ~policy ~m ~reservations ~gc_every ~on_record next
+  if heartbeat_every < 0 then invalid_arg "Simulator.run_stream: negative heartbeat_every";
+  if heartbeat_dt < 0 then invalid_arg "Simulator.run_stream: negative heartbeat_dt";
+  (* With a sampler attached but no cadence given, default to one snapshot
+     every 65536 events — frequent enough to watch a replay live, sparse
+     enough to stay invisible in the wall clock. *)
+  let hb_every =
+    if on_heartbeat <> None && heartbeat_every = 0 && heartbeat_dt = 0 then 65536
+    else heartbeat_every
+  in
+  run_core ~obs ~policy ~m ~reservations ~gc_every ~hb_every ~hb_dt:heartbeat_dt ~on_heartbeat
+    ~on_record next
 
 let run_estimated ?(obs = Trace.null) ~policy ~m ?(reservations = []) ~estimates
     (submissions : submitted list) =
@@ -329,7 +431,7 @@ let run_estimated ?(obs = Trace.null) ~policy ~m ?(reservations = []) ~estimates
   in
   let by_id : (int, record) Hashtbl.t = Hashtbl.create (max 16 n) in
   let stats =
-    run_core ~obs ~policy ~m ~reservations ~gc_every:0
+    run_core ~obs ~policy ~m ~reservations ~gc_every:0 ~hb_every:0 ~hb_dt:0 ~on_heartbeat:None
       ~on_record:(fun r -> Hashtbl.replace by_id (Job.id r.job) r)
       next
   in

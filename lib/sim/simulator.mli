@@ -64,6 +64,23 @@ type stream_stats = {
   max_live : int;  (** Peak jobs waiting or running — the memory driver. *)
 }
 
+type heartbeat = {
+  hb_seq : int;  (** 1-based snapshot index within the run. *)
+  hb_time : int;  (** Simulation instant of the snapshot. *)
+  hb_events : int;  (** Arrivals admitted + completions drained so far. *)
+  hb_admitted : int;
+  hb_completed : int;
+  hb_queued : int;  (** Jobs waiting right now. *)
+  hb_live : int;  (** Jobs waiting or running right now. *)
+  hb_makespan : int;  (** Makespan so far (max finish of started jobs). *)
+  hb_nodes : int;  (** Materialised timeline nodes — the footprint driver. *)
+}
+(** One periodic telemetry snapshot of a streamed replay. Every field is
+    {e simulation} data, hence deterministic: two runs of the same
+    workload produce identical heartbeat sequences at any executor pool
+    size. Wall-clock enrichment (jobs/s, RSS) is the consumer's job — see
+    {!Heartbeat} — and stays segregated, as [Resa_obs.Prof] data does. *)
+
 exception Policy_error of string
 (** Raised when a policy starts a job that does not fit, starts a job not in
     the queue, or deadlocks (never starts a startable queue). The message
@@ -99,6 +116,9 @@ val run_estimated :
 val run_stream :
   ?obs:Resa_obs.Trace.t ->
   ?gc_every:int ->
+  ?heartbeat_every:int ->
+  ?heartbeat_dt:int ->
+  ?on_heartbeat:(heartbeat -> unit) ->
   ?on_record:(record -> unit) ->
   policy:Policy.t ->
   m:int ->
@@ -117,6 +137,16 @@ val run_stream :
     third memory consumer on multi-million-job runs. Compaction is
     invisible: every simulator and policy access touches windows at or
     after now.
+
+    [on_heartbeat] (default: none) attaches a periodic telemetry sampler:
+    after processing a decision instant, if at least [heartbeat_every]
+    events (arrivals + completions) or [heartbeat_dt] sim-time units have
+    elapsed since the previous snapshot, one {!heartbeat} is emitted; a
+    closing snapshot always follows the last event. With a sampler but no
+    cadence the default is one snapshot per 65536 events. Heartbeats are
+    pure simulation data — deterministic, and with no sampler attached
+    the run is byte-identical to one without the feature. Cadences must
+    be non-negative ([Invalid_argument] otherwise).
 
     Semantics are those of {!run_estimated} on the drained arrival list:
     same decisions, same starts, and byte-identical [?obs] traces — at any

@@ -263,3 +263,36 @@ let summary_line xs =
   | Some d ->
     Printf.sprintf "n=%d mean=%.3f std=%.3f min=%.3f p50=%.3f max=%.3f" d.count d.mean d.std
       d.min d.p50 d.max
+
+(* --- terminal sparklines -------------------------------------------------- *)
+
+let spark_levels = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                      "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline ?(width = 0) xs =
+  let xs = List.filter Float.is_finite xs in
+  let xs =
+    let n = List.length xs in
+    if width > 0 && n > width then
+      (* Keep the most recent [width] samples: a live dashboard scrolls. *)
+      List.filteri (fun i _ -> i >= n - width) xs
+    else xs
+  in
+  match xs with
+  | [] -> ""
+  | xs ->
+    let lo = List.fold_left Float.min Float.infinity xs in
+    let hi = List.fold_left Float.max Float.neg_infinity xs in
+    let span = hi -. lo in
+    let b = Buffer.create (3 * List.length xs) in
+    List.iter
+      (fun v ->
+        let i =
+          if span <= 0.0 then 0
+          else
+            let i = int_of_float ((v -. lo) /. span *. 7.0 +. 0.5) in
+            if i < 0 then 0 else if i > 7 then 7 else i
+        in
+        Buffer.add_string b spark_levels.(i))
+      xs;
+    Buffer.contents b

@@ -81,3 +81,10 @@ module P2 : sig
   val value : t -> float
   (** Current estimate; nan before any observation. *)
 end
+
+val sparkline : ?width:int -> float list -> string
+(** Unicode block-character sparkline (▁ to █), scaled to the samples'
+    own min/max; non-finite samples are skipped. [width] (default 0 =
+    all) keeps the trailing samples only — what a scrolling dashboard
+    wants. "" on the empty list; a flat series renders at the lowest
+    level. *)

@@ -29,5 +29,6 @@ let () =
       ("stats", Test_stats.suite);
       ("par", Test_par.suite);
       ("obs", Test_obs.suite);
+      ("metrics", Test_metrics.suite);
       ("instance-io", Test_io.suite);
     ]

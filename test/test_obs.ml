@@ -93,6 +93,7 @@ let all_constructors =
     Trace.Resv_accept { resv = 0; start = 10; p = 4; q = 3 };
     Trace.Resv_reject { start = 10; p = 4; q = 30; reason = "too wide \"quoted\"" };
     Trace.Sim_wake { time = 42; forced = true };
+    Trace.Truncated { dropped = 6 };
   ]
 
 let test_jsonl_roundtrip () =
@@ -450,6 +451,76 @@ let test_explain_render () =
         (contains ~sub out))
     [ "== FCFS =="; "== EASY =="; "decisions:"; "job 0"; "started" ]
 
+(* --- truncation surfacing ------------------------------------------------ *)
+
+let test_truncation_surfaced () =
+  (* An overflowed ring flushes with a trailing truncated summary line,
+     and explain turns it into a visible warning. *)
+  let obs = Trace.buffer ~cap:4 () in
+  for t = 0 to 9 do
+    Trace.emit obs (Trace.Sim_wake { time = t; forced = false })
+  done;
+  let path = Filename.temp_file "resa_trunc" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc -> Trace.flush_jsonl ~run:"r" oc obs);
+      let lines = In_channel.with_open_text path In_channel.input_lines in
+      Alcotest.(check int) "4 kept events + 1 summary" 5 (List.length lines);
+      (match Trace.parse_line (List.nth lines 4) with
+      | Ok (Some "r", Trace.Truncated { dropped = 6 }) -> ()
+      | Ok _ -> Alcotest.fail "trailing line is not the truncation summary"
+      | Error e -> Alcotest.fail e);
+      let events =
+        List.map
+          (fun l -> match Trace.parse_line l with Ok e -> e | Error e -> Alcotest.fail e)
+          lines
+      in
+      let out = Resa_obs.Explain.render events in
+      Alcotest.(check bool) "explain warns about the gap" true
+        (contains ~sub:"6 events dropped" out));
+  (* No summary line when nothing was dropped. *)
+  let obs = Trace.buffer () in
+  Trace.emit obs (Trace.Sim_wake { time = 0; forced = false });
+  let path = Filename.temp_file "resa_notrunc" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc -> Trace.flush_jsonl oc obs);
+      let lines = In_channel.with_open_text path In_channel.input_lines in
+      Alcotest.(check int) "just the event" 1 (List.length lines))
+
+(* --- busy accounting beyond the initial table ---------------------------- *)
+
+let test_busy_high_domain_ids () =
+  (* Domain ids grow monotonically over the process lifetime, so spawning
+     sequential domains pushes the id past the busy table's initial 256
+     slots; distinct domains must never merge. *)
+  let was = Prof.enabled () in
+  Prof.enable ();
+  Prof.reset ();
+  let last_id = ref 0 in
+  let spawned = ref 0 in
+  while !last_id < 300 && !spawned < 512 do
+    let d =
+      Domain.spawn (fun () ->
+          Prof.add_busy 7;
+          (Domain.self () :> int))
+    in
+    last_id := Domain.join d;
+    incr spawned
+  done;
+  if not was then Prof.disable ();
+  Alcotest.(check bool) "reached an id past the initial table" true (!last_id >= 300);
+  let busy = Prof.busy_ns () in
+  (match List.assoc_opt !last_id busy with
+  | Some v -> Alcotest.(check int) "highest domain credited exactly once" 7 v
+  | None -> Alcotest.fail "high domain id missing from busy_ns");
+  Alcotest.(check int) "one entry per spawned domain, none merged" !spawned
+    (List.length (List.filter (fun (_, v) -> v = 7) busy));
+  Alcotest.(check bool) "ascending ids" true
+    (List.sort compare busy = busy)
+
 let suite =
   [
     Alcotest.test_case "ring buffer bounded" `Quick test_ring_bounded;
@@ -471,5 +542,8 @@ let suite =
     Alcotest.test_case "policy errors carry context" `Quick test_policy_error_messages;
     Alcotest.test_case "prof counters and spans" `Quick test_prof_counters;
     Alcotest.test_case "prof disabled is a no-op" `Quick test_prof_disabled_is_noop;
+    Alcotest.test_case "busy accounting at high domain ids" `Quick test_busy_high_domain_ids;
     Alcotest.test_case "explain renders a trace" `Quick test_explain_render;
+    Alcotest.test_case "truncation surfaced on flush and explain" `Quick
+      test_truncation_surfaced;
   ]
